@@ -1,0 +1,77 @@
+"""Ablation: anchor-vertex choice in the Fig.-4 traversal.
+
+The paper anchors the traversal at the highest-degree query gene ("the
+vertex with the highest degree can achieve higher pruning power"). This
+ablation compares that choice against a random and a first-gene anchor.
+All strategies must return identical answers (the anchor only shapes the
+traversal, not the refinement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled, write_table
+from repro.config import EngineConfig, SyntheticConfig
+from repro.core.query import IMGRNEngine
+from repro.data.queries import generate_query_workload
+from repro.data.synthetic import generate_database
+from repro.eval.counters import aggregate_stats
+from repro.eval.experiments import ExperimentResult
+from repro.eval.reporting import format_table
+
+GAMMA = ALPHA = 0.5
+STRATEGIES = ("highest_degree", "random", "first")
+
+
+@pytest.fixture(scope="module")
+def setup(bench_seed):
+    database = generate_database(
+        SyntheticConfig(weights="uni", seed=bench_seed), scaled(100)
+    )
+    queries = generate_query_workload(database, n_q=5, count=5, rng=bench_seed)
+    engines = {}
+    for strategy in STRATEGIES:
+        engine = IMGRNEngine(
+            database, EngineConfig(anchor_strategy=strategy, seed=bench_seed)
+        )
+        engine.build()
+        engines[strategy] = engine
+    return engines, queries
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_query_speed_by_anchor(benchmark, setup, strategy):
+    engines, queries = setup
+    engine = engines[strategy]
+    benchmark.pedantic(
+        lambda: [engine.query(q, GAMMA, ALPHA) for q in queries],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_ablation_anchor_series(benchmark, setup):
+    engines, queries = setup
+
+    def sweep():
+        result = ExperimentResult(name="ablation_anchor", x_label="strategy")
+        answers = {}
+        for strategy, engine in engines.items():
+            results = [engine.query(q, GAMMA, ALPHA) for q in queries]
+            answers[strategy] = [r.answer_sources() for r in results]
+            agg = aggregate_stats([r.stats for r in results])
+            result.rows.append(
+                {
+                    "strategy": strategy,
+                    "cpu_seconds": agg["cpu_seconds"],
+                    "io_accesses": agg["io_accesses"],
+                    "candidates": agg["candidates"],
+                }
+            )
+        return result, answers
+
+    (result, answers) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table("ablation_anchor", format_table(result))
+    for strategy in STRATEGIES[1:]:
+        assert answers[strategy] == answers["highest_degree"]

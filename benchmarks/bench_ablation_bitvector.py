@@ -1,0 +1,80 @@
+"""Ablation: bit-vector signature width B.
+
+The gene/source signatures (Section 5.1) are Bloom-style: narrow vectors
+saturate on a large gene pool and stop filtering, inflating the traversal's
+I/O; wide vectors keep collisions rare. Answers never change (signatures
+only admit false positives).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled, write_table
+from repro.config import EngineConfig, SyntheticConfig
+from repro.core.query import IMGRNEngine
+from repro.data.queries import generate_query_workload
+from repro.data.synthetic import generate_database
+from repro.eval.counters import aggregate_stats
+from repro.eval.experiments import ExperimentResult
+from repro.eval.reporting import format_table
+
+GAMMA = ALPHA = 0.5
+WIDTHS = (16, 64, 256, 1024)
+
+
+@pytest.fixture(scope="module")
+def setup(bench_seed):
+    database = generate_database(
+        SyntheticConfig(weights="uni", seed=bench_seed), scaled(100)
+    )
+    queries = generate_query_workload(database, n_q=5, count=5, rng=bench_seed)
+    engines = {}
+    for bits in WIDTHS:
+        engine = IMGRNEngine(
+            database, EngineConfig(bitvector_bits=bits, seed=bench_seed)
+        )
+        engine.build()
+        engines[bits] = engine
+    return engines, queries
+
+
+@pytest.mark.parametrize("bits", WIDTHS)
+def test_query_speed_by_bitvector_width(benchmark, setup, bits):
+    engines, queries = setup
+    engine = engines[bits]
+    benchmark.pedantic(
+        lambda: [engine.query(q, GAMMA, ALPHA) for q in queries],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_ablation_bitvector_series(benchmark, setup):
+    engines, queries = setup
+
+    def sweep():
+        result = ExperimentResult(name="ablation_bitvector", x_label="B")
+        answers = {}
+        for bits, engine in engines.items():
+            results = [engine.query(q, GAMMA, ALPHA) for q in queries]
+            answers[bits] = [r.answer_sources() for r in results]
+            agg = aggregate_stats([r.stats for r in results])
+            result.rows.append(
+                {
+                    "B": float(bits),
+                    "cpu_seconds": agg["cpu_seconds"],
+                    "io_accesses": agg["io_accesses"],
+                    "candidates": agg["candidates"],
+                }
+            )
+        return result, answers
+
+    (result, answers) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table("ablation_bitvector", format_table(result))
+    # Signatures are filters, never deciders: identical answers at any B.
+    for bits in WIDTHS[1:]:
+        assert answers[bits] == answers[WIDTHS[0]]
+    # Wider signatures can only help the traversal (same or less I/O).
+    io = {row["B"]: row["io_accesses"] for row in result.rows}
+    assert io[1024.0] <= io[16.0] * 1.05

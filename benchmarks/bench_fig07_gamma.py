@@ -1,0 +1,62 @@
+"""Figure 7: IM-GRN query performance vs the inference threshold gamma.
+
+The paper's shape: as gamma grows from 0.2 to 0.9, the number of potential
+candidate genes shrinks, so CPU time, I/O and candidates all fall (or stay
+flat at an already-small floor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_table
+from repro.eval.counters import aggregate_stats
+from repro.eval.experiments import ExperimentResult
+from repro.eval.reporting import format_table
+
+GAMMAS = (0.2, 0.3, 0.5, 0.8, 0.9)
+ALPHA = 0.5
+
+
+@pytest.mark.parametrize("gamma", GAMMAS)
+def test_query_speed_vs_gamma(benchmark, uni_workload, gamma):
+    engine, queries = uni_workload.engine, uni_workload.queries
+    benchmark.pedantic(
+        lambda: [engine.query(q, gamma, ALPHA) for q in queries],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_figure7_series(benchmark, uni_workload, gau_workload):
+    def sweep():
+        result = ExperimentResult(name="fig7_gamma", x_label="gamma")
+        for label, workload in (("uni", uni_workload), ("gau", gau_workload)):
+            for gamma in GAMMAS:
+                stats = [
+                    workload.engine.query(q, gamma, ALPHA).stats
+                    for q in workload.queries
+                ]
+                agg = aggregate_stats(stats)
+                result.rows.append(
+                    {
+                        "dataset": label,
+                        "gamma": gamma,
+                        "cpu_seconds": agg["cpu_seconds"],
+                        "io_accesses": agg["io_accesses"],
+                        "candidates": agg["candidates"],
+                        "answers": agg["answers"],
+                    }
+                )
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table("fig07_gamma", format_table(result))
+    for label in ("uni", "gau"):
+        rows = [r for r in result.rows if r["dataset"] == label]
+        # Candidates / IO are monotonically non-increasing in gamma
+        # (allowing the small-integer floor to be flat).
+        candidates = [r["candidates"] for r in rows]
+        assert candidates[0] >= candidates[-1]
+        io = [r["io_accesses"] for r in rows]
+        assert io[0] >= io[-1] * 0.8

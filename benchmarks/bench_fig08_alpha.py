@@ -1,0 +1,66 @@
+"""Figure 8: IM-GRN query performance vs the probabilistic threshold alpha.
+
+The paper's shape: larger alpha filters more low-probability subgraph
+candidates, so CPU drops slightly; the I/O of the index traversal is not
+very sensitive to alpha (the traversal itself is gamma-driven); candidates
+drop slightly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_table
+from repro.eval.counters import aggregate_stats
+from repro.eval.experiments import ExperimentResult
+from repro.eval.reporting import format_table
+
+ALPHAS = (0.2, 0.3, 0.5, 0.8, 0.9)
+GAMMA = 0.5
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_query_speed_vs_alpha(benchmark, uni_workload, alpha):
+    engine, queries = uni_workload.engine, uni_workload.queries
+    benchmark.pedantic(
+        lambda: [engine.query(q, GAMMA, alpha) for q in queries],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_figure8_series(benchmark, uni_workload, gau_workload):
+    def sweep():
+        result = ExperimentResult(name="fig8_alpha", x_label="alpha")
+        for label, workload in (("uni", uni_workload), ("gau", gau_workload)):
+            for alpha in ALPHAS:
+                stats = [
+                    workload.engine.query(q, GAMMA, alpha).stats
+                    for q in workload.queries
+                ]
+                agg = aggregate_stats(stats)
+                result.rows.append(
+                    {
+                        "dataset": label,
+                        "alpha": alpha,
+                        "cpu_seconds": agg["cpu_seconds"],
+                        "io_accesses": agg["io_accesses"],
+                        "candidates": agg["candidates"],
+                        "answers": agg["answers"],
+                    }
+                )
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table("fig08_alpha", format_table(result))
+    for label in ("uni", "gau"):
+        rows = [r for r in result.rows if r["dataset"] == label]
+        # I/O is insensitive to alpha: the traversal is gamma-driven.
+        io = [r["io_accesses"] for r in rows]
+        assert max(io) <= min(io) * 1.2 + 10
+        # Candidates are non-increasing in alpha (Lemma 5 only prunes more).
+        candidates = [r["candidates"] for r in rows]
+        assert all(a >= b - 1e-9 for a, b in zip(candidates, candidates[1:]))
+        # Answers shrink (or stay flat) as alpha grows.
+        answers = [r["answers"] for r in rows]
+        assert answers[0] >= answers[-1]

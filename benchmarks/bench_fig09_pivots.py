@@ -1,0 +1,82 @@
+"""Figure 9: IM-GRN query performance vs the number of pivots d.
+
+The paper's shape ("dimensionality curse"): CPU and I/O grow with d (the
+index is 2d+1-dimensional, so node MBRs overlap more and filter less),
+while the candidate count stays essentially constant (the same query over
+differently-reduced indexes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled, write_table
+from repro.config import EngineConfig
+from repro.eval.counters import aggregate_stats
+from repro.eval.experiments import ExperimentResult, build_synthetic_workload
+from repro.eval.reporting import format_table
+
+PIVOT_COUNTS = (1, 2, 3, 4)
+GAMMA = ALPHA = 0.5
+N_MATRICES = scaled(120)
+
+
+@pytest.fixture(scope="module")
+def workloads(bench_seed):
+    built = {}
+    for weights in ("uni", "gau"):
+        for d in PIVOT_COUNTS:
+            built[(weights, d)] = build_synthetic_workload(
+                weights=weights,
+                n_matrices=N_MATRICES,
+                num_queries=5,
+                config=EngineConfig(num_pivots=d, seed=bench_seed),
+                seed=bench_seed,
+            )
+    return built
+
+
+@pytest.mark.parametrize("d", PIVOT_COUNTS)
+def test_query_speed_vs_pivots(benchmark, workloads, d):
+    workload = workloads[("uni", d)]
+    benchmark.pedantic(
+        lambda: [workload.engine.query(q, GAMMA, ALPHA) for q in workload.queries],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_figure9_series(benchmark, workloads):
+    def sweep():
+        result = ExperimentResult(name="fig9_pivots", x_label="d")
+        for weights in ("uni", "gau"):
+            for d in PIVOT_COUNTS:
+                workload = workloads[(weights, d)]
+                stats = [
+                    workload.engine.query(q, GAMMA, ALPHA).stats
+                    for q in workload.queries
+                ]
+                agg = aggregate_stats(stats)
+                result.rows.append(
+                    {
+                        "dataset": weights,
+                        "d": float(d),
+                        "cpu_seconds": agg["cpu_seconds"],
+                        "io_accesses": agg["io_accesses"],
+                        "candidates": agg["candidates"],
+                    }
+                )
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table("fig09_pivots", format_table(result))
+    for weights in ("uni", "gau"):
+        rows = [r for r in result.rows if r["dataset"] == weights]
+        # Candidate counts are stable across d (same queries, same final
+        # filter); allow one candidate of slack for bound differences.
+        candidates = [r["candidates"] for r in rows]
+        assert max(candidates) - min(candidates) <= 1.5
+        # The d=4 index must not be cheaper in I/O than the d=1 index
+        # (dimensionality curse direction).
+        io = {r["d"]: r["io_accesses"] for r in rows}
+        assert io[4.0] >= io[1.0] * 0.8

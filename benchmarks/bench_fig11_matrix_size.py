@@ -1,0 +1,78 @@
+"""Figure 11: IM-GRN query performance vs genes-per-matrix range.
+
+The paper's shape: wider matrices mean more gene vectors in the index and
+more potential matches, so CPU and I/O grow with [n_min, n_max] while the
+candidate set stays small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled, write_table
+from repro.eval.counters import aggregate_stats
+from repro.eval.experiments import ExperimentResult, build_synthetic_workload
+from repro.eval.reporting import format_table
+
+RANGES = ((10, 20), (20, 50), (50, 100), (100, 150))
+GAMMA = ALPHA = 0.5
+N_MATRICES = scaled(100)
+
+
+@pytest.fixture(scope="module")
+def workloads(bench_seed):
+    built = {}
+    for weights in ("uni", "gau"):
+        for genes_range in RANGES:
+            built[(weights, genes_range)] = build_synthetic_workload(
+                weights=weights,
+                n_matrices=N_MATRICES,
+                genes_range=genes_range,
+                num_queries=5,
+                seed=bench_seed,
+            )
+    return built
+
+
+@pytest.mark.parametrize("genes_range", RANGES)
+def test_query_speed_vs_matrix_width(benchmark, workloads, genes_range):
+    workload = workloads[("uni", genes_range)]
+    benchmark.pedantic(
+        lambda: [workload.engine.query(q, GAMMA, ALPHA) for q in workload.queries],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_figure11_series(benchmark, workloads):
+    def sweep():
+        result = ExperimentResult(name="fig11_matrix_size", x_label="n_range")
+        for weights in ("uni", "gau"):
+            for genes_range in RANGES:
+                workload = workloads[(weights, genes_range)]
+                stats = [
+                    workload.engine.query(q, GAMMA, ALPHA).stats
+                    for q in workload.queries
+                ]
+                agg = aggregate_stats(stats)
+                result.rows.append(
+                    {
+                        "dataset": weights,
+                        "n_range": f"[{genes_range[0]},{genes_range[1]}]",
+                        "cpu_seconds": agg["cpu_seconds"],
+                        "io_accesses": agg["io_accesses"],
+                        "candidates": agg["candidates"],
+                    }
+                )
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table("fig11_matrix_size", format_table(result))
+    for weights in ("uni", "gau"):
+        rows = [r for r in result.rows if r["dataset"] == weights]
+        # Cost grows with matrix width: the widest range beats the
+        # narrowest in both CPU and I/O.
+        assert rows[-1]["io_accesses"] > rows[0]["io_accesses"]
+        assert rows[-1]["cpu_seconds"] > rows[0]["cpu_seconds"]
+        # Candidates stay small throughout.
+        assert all(r["candidates"] <= 30 for r in rows)

@@ -1,0 +1,76 @@
+"""Figure 12: IM-GRN scalability vs the number of matrices N.
+
+The paper's shape: CPU and I/O grow smoothly (sub-linearly thanks to the
+index) with N, while the candidate count stays flat -- the pruning power
+holds up as the database grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import scaled, write_table
+from repro.eval.counters import aggregate_stats
+from repro.eval.experiments import ExperimentResult, build_synthetic_workload
+from repro.eval.reporting import format_table
+
+SIZES = (50, 100, 200, 400)
+GAMMA = ALPHA = 0.5
+
+
+@pytest.fixture(scope="module")
+def workloads(bench_seed):
+    built = {}
+    for weights in ("uni", "gau"):
+        for n in SIZES:
+            built[(weights, n)] = build_synthetic_workload(
+                weights=weights,
+                n_matrices=scaled(n),
+                num_queries=5,
+                seed=bench_seed,
+            )
+    return built
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_query_speed_vs_database_size(benchmark, workloads, n):
+    workload = workloads[("uni", n)]
+    benchmark.pedantic(
+        lambda: [workload.engine.query(q, GAMMA, ALPHA) for q in workload.queries],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_figure12_series(benchmark, workloads):
+    def sweep():
+        result = ExperimentResult(name="fig12_database_size", x_label="N")
+        for weights in ("uni", "gau"):
+            for n in SIZES:
+                workload = workloads[(weights, n)]
+                stats = [
+                    workload.engine.query(q, GAMMA, ALPHA).stats
+                    for q in workload.queries
+                ]
+                agg = aggregate_stats(stats)
+                result.rows.append(
+                    {
+                        "dataset": weights,
+                        "N": float(scaled(n)),
+                        "cpu_seconds": agg["cpu_seconds"],
+                        "io_accesses": agg["io_accesses"],
+                        "candidates": agg["candidates"],
+                    }
+                )
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table("fig12_database_size", format_table(result))
+    for weights in ("uni", "gau"):
+        rows = [r for r in result.rows if r["dataset"] == weights]
+        # Costs grow with N...
+        assert rows[-1]["io_accesses"] > rows[0]["io_accesses"]
+        # ...but sub-quadratically: 8x database -> well under 64x I/O.
+        assert rows[-1]["io_accesses"] < rows[0]["io_accesses"] * 64
+        # Candidates stay flat/small as N grows (pruning power holds).
+        assert all(r["candidates"] <= 30 for r in rows)

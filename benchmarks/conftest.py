@@ -1,0 +1,56 @@
+"""Shared benchmark utilities.
+
+Every figure's bench writes its paper-style table to ``benchmarks/out/`` so
+EXPERIMENTS.md can quote measured numbers, and prints it (visible with
+``pytest -s``). Scales are laptop-sized; set ``REPRO_BENCH_SCALE=2`` (or
+higher) to multiply the database sizes toward paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Multiplier applied to database sizes (REPRO_BENCH_SCALE env var).
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def scaled(n: int) -> int:
+    """Scale a matrix count by the benchmark scale factor."""
+    return n * SCALE
+
+
+def write_table(name: str, text: str) -> None:
+    """Persist one figure's series under benchmarks/out/ and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}")
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return 7
+
+
+@pytest.fixture(scope="session")
+def uni_workload(bench_seed):
+    """Shared default-parameter Uni workload (N scaled, Table-2 defaults)."""
+    from repro.eval.experiments import build_synthetic_workload
+
+    return build_synthetic_workload(
+        weights="uni", n_matrices=scaled(150), num_queries=5, seed=bench_seed
+    )
+
+
+@pytest.fixture(scope="session")
+def gau_workload(bench_seed):
+    """Shared default-parameter Gau workload."""
+    from repro.eval.experiments import build_synthetic_workload
+
+    return build_synthetic_workload(
+        weights="gau", n_matrices=scaled(150), num_queries=5, seed=bench_seed
+    )

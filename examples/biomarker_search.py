@@ -1,0 +1,116 @@
+"""Example 1 of the paper: identification of diagnostic biomarkers.
+
+A candidate cancer biomarker is a small GRN pattern inferred from cancer
+patient samples. To confirm it, we search an existing gene feature database
+(experiments collected from "the literature, public databases, medical
+centers") for sources whose inferred GRNs contain the biomarker with high
+confidence -- the retrieved matches are supporting evidence and case
+studies for the biomarker.
+
+This script builds a heterogeneous database from organism-shaped
+compendia, plants a biomarker pattern in a subset of "case" sources, infers
+the biomarker query from noisy patient samples, and retrieves/ranks the
+supporting sources. It also contrasts the indexed engine's cost against the
+materialize-everything baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BaselineEngine, EngineConfig, GeneFeatureDatabase, IMGRNEngine
+from repro.data.matrix import GeneFeatureMatrix
+from repro.data.noise import add_noise
+from repro.data.synthetic import generate_expression
+
+#: The biomarker pathway: 4 genes with a hub structure (gene 0 regulates
+#: the rest, plus one cross edge), using global gene IDs 500-503. The
+#: regulatory weights are a fixed property of the pathway -- every diseased
+#: patient cohort expresses the *same* interaction pattern, only the
+#: measurement noise differs per data source.
+BIOMARKER_GENES = [500, 501, 502, 503]
+BIOMARKER_EDGES = [(0, 1), (0, 2), (0, 3), (2, 3)]  # local indices
+BIOMARKER_WEIGHTS = {(0, 1): 0.85, (0, 2): 0.8, (0, 3): 0.75, (2, 3): 0.7}
+
+
+def make_source(
+    source_id: int,
+    carries_biomarker: bool,
+    rng: np.random.Generator,
+    background_genes: int = 30,
+    samples: int = 24,
+) -> GeneFeatureMatrix:
+    """One data source: background genes plus, for cases, the biomarker.
+
+    The biomarker block is generated through the paper's linear model so
+    its genes genuinely co-vary; control sources carry the same gene IDs
+    with independent expression (no interaction pattern).
+    """
+    n_bio = len(BIOMARKER_GENES)
+    background = rng.normal(0.0, 1.0, size=(samples, background_genes))
+    if carries_biomarker:
+        b = np.zeros((n_bio, n_bio))
+        for (u, v), weight in BIOMARKER_WEIGHTS.items():
+            b[u, v] = weight
+        block = generate_expression(b, samples, noise_variance=0.05, rng=rng)
+        block = block / block.std()
+    else:
+        block = rng.normal(0.0, 1.0, size=(samples, n_bio))
+    values = np.hstack([block, background])
+    gene_ids = BIOMARKER_GENES + [1000 + source_id * 100 + g for g in range(background_genes)]
+    return GeneFeatureMatrix(values, gene_ids, source_id)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    case_sources = set(range(0, 40, 5))  # 8 of 40 sources carry the pattern
+    database = GeneFeatureDatabase(
+        make_source(i, i in case_sources, rng) for i in range(40)
+    )
+    print(
+        f"database: {len(database)} sources, "
+        f"{len(case_sources)} carry the biomarker pathway"
+    )
+
+    engine = IMGRNEngine(database, EngineConfig(seed=11))
+    engine.build()
+
+    # The query matrix: noisy patient samples of the biomarker genes, taken
+    # from one known case source (fresh measurement noise on top).
+    case = database.get(sorted(case_sources)[0])
+    query = add_noise(case.submatrix(BIOMARKER_GENES), std=0.2, rng=rng)
+
+    gamma, alpha = 0.7, 0.2
+    result = engine.query(query, gamma=gamma, alpha=alpha)
+    print(f"\nbiomarker query GRN ({result.query_graph.num_edges} edges):")
+    for (u, v), p in result.query_graph.edges():
+        print(f"  {u}-{v}  p={p:.3f}")
+
+    found = set(result.answer_sources())
+    print(f"\nretrieved supporting sources: {sorted(found)}")
+    print(f"true case sources:            {sorted(case_sources)}")
+    recall = len(found & case_sources) / len(case_sources)
+    precision = len(found & case_sources) / len(found) if found else 0.0
+    print(f"recall={recall:.2f}  precision={precision:.2f}")
+    print(
+        f"engine cost: {result.stats.cpu_seconds * 1e3:.1f} ms, "
+        f"{result.stats.io_accesses} page accesses, "
+        f"{result.stats.candidates} candidates"
+    )
+
+    # Contrast with the offline-materialization baseline (Section 6.1).
+    baseline = BaselineEngine(database, EngineConfig(seed=11))
+    baseline.build()
+    base_result = baseline.query(query, gamma=gamma, alpha=alpha)
+    assert set(base_result.answer_sources()) == found
+    print(
+        f"\nbaseline: same answers, but {base_result.stats.cpu_seconds * 1e3:.1f} ms, "
+        f"{base_result.stats.io_accesses} page accesses, "
+        f"{base_result.stats.candidates} candidates "
+        f"(+ {baseline.precompute_seconds:.1f}s offline pre-computation, "
+        f"{baseline.storage_bytes / 1024:.0f} KiB probability store)"
+    )
+
+
+if __name__ == "__main__":
+    main()

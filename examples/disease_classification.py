@@ -1,0 +1,113 @@
+"""Example 2 of the paper: disease clustering and classification.
+
+GRN structures differ across diseases (and disease phases). Given a newly
+emerging, unlabeled disease, we infer its query GRN from limited patient
+samples and retrieve labeled sources whose inferred GRNs subgraph-match it
+with high confidence; the new disease is classified by majority vote over
+the retrieved labels, potentially pointing to treatment strategies of the
+matched diseases.
+
+Each disease family here is defined by its own regulatory pattern over a
+shared panel of pathway genes; multiple institutions contribute matrices
+per disease (same pattern, independent patients).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro import EngineConfig, GeneFeatureDatabase, IMGRNEngine
+from repro.data.matrix import GeneFeatureMatrix
+from repro.data.synthetic import generate_expression
+
+#: A shared panel of 8 pathway genes (global IDs 900-907); each disease
+#: wires a different regulatory pattern over them.
+PANEL = list(range(900, 908))
+DISEASE_PATTERNS = {
+    "leukemia": [(0, 1), (1, 2), (2, 3)],          # chain
+    "lymphoma": [(0, 1), (0, 2), (0, 3), (0, 4)],  # hub at gene 900
+    "melanoma": [(4, 5), (5, 6), (6, 7), (4, 7)],  # cycle on the tail genes
+}
+WEIGHT = 0.8
+SOURCES_PER_DISEASE = 6
+
+
+def disease_matrix(
+    disease: str, source_id: int, rng: np.random.Generator, samples: int = 26
+) -> GeneFeatureMatrix:
+    """One institution's patient cohort for a disease."""
+    n = len(PANEL)
+    b = np.zeros((n, n))
+    for u, v in DISEASE_PATTERNS[disease]:
+        b[u, v] = WEIGHT
+    values = generate_expression(b, samples, noise_variance=0.05, rng=rng)
+    values = values / values.std()
+    # Institution-specific extra genes make matrices heterogeneous.
+    extra = rng.normal(size=(samples, 10))
+    gene_ids = PANEL + [2000 + source_id * 50 + g for g in range(10)]
+    return GeneFeatureMatrix(np.hstack([values, extra]), gene_ids, source_id)
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    labels: dict[int, str] = {}
+    matrices = []
+    source_id = 0
+    for disease in DISEASE_PATTERNS:
+        for _ in range(SOURCES_PER_DISEASE):
+            matrices.append(disease_matrix(disease, source_id, rng))
+            labels[source_id] = disease
+            source_id += 1
+    database = GeneFeatureDatabase(matrices)
+    print(
+        f"database: {len(database)} labeled sources, "
+        f"{len(DISEASE_PATTERNS)} diseases x {SOURCES_PER_DISEASE} institutions"
+    )
+
+    engine = IMGRNEngine(database, EngineConfig(seed=23))
+    engine.build()
+
+    # A new, unlabeled disease: partial experiments (few samples) of a
+    # lymphoma-like condition. Only the 5 hub-pathway genes were measured
+    # (time/budget limits of Example 2).
+    unknown_true = "lymphoma"
+    n = len(PANEL)
+    b = np.zeros((n, n))
+    for u, v in DISEASE_PATTERNS[unknown_true]:
+        b[u, v] = WEIGHT
+    values = generate_expression(b, 14, noise_variance=0.08, rng=rng)
+    values = values / values.std()
+    query = GeneFeatureMatrix(values[:, :5], PANEL[:5], 999)
+    print(
+        f"\nnew disease: {query.num_samples} patient samples over genes "
+        f"{query.gene_ids}"
+    )
+
+    gamma, alpha = 0.8, 0.3
+    result = engine.query(query, gamma=gamma, alpha=alpha)
+    print(f"inferred query GRN: {result.query_graph.num_edges} edges")
+    for (u, v), p in result.query_graph.edges():
+        print(f"  {u}-{v}  p={p:.3f}")
+
+    votes = Counter(labels[s] for s in result.answer_sources())
+    print("\nmatching labeled sources:")
+    for answer in result.answers:
+        print(
+            f"  source {answer.source_id:2d} [{labels[answer.source_id]:9s}] "
+            f"Pr{{G}} = {answer.probability:.3f}"
+        )
+    if votes:
+        predicted, count = votes.most_common(1)[0]
+        print(
+            f"\nclassification: {predicted} "
+            f"({count}/{sum(votes.values())} votes) -- true label: {unknown_true}"
+        )
+        assert predicted == unknown_true
+    else:
+        print("\nno matches above the confidence threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Inference-accuracy study: IM-GRN vs Correlation vs pCorr (Fig. 5a/14/15).
+
+Generates an organism-shaped compendium with a known gold-standard network,
+scores every gene pair with the three inference measures (with and without
+the paper's N(0, 0.3) measurement noise), and prints ROC summaries plus a
+low-FPR operating-point table -- the biologist's view of which measure to
+trust when calling edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EdgeProbabilityEstimator, add_noise
+from repro.core.correlation import (
+    absolute_correlation_matrix,
+    partial_correlation_matrix,
+)
+from repro.data.organisms import ORGANISMS, generate_organism_matrix
+from repro.eval.roc import roc_curve_from_scores
+
+
+def scores_for(matrix, estimator):
+    """All three measures' pairwise score matrices."""
+    return {
+        "IM-GRN": estimator.probability_matrix(matrix.values),
+        "Correlation": absolute_correlation_matrix(matrix.values),
+        "pCorr": np.abs(partial_correlation_matrix(matrix.values)),
+    }
+
+
+def main() -> None:
+    organism = "ecoli"
+    spec = ORGANISMS[organism].scaled(genes=150, samples=45)
+    matrix = generate_organism_matrix(spec, rng=np.random.default_rng(5))
+    noisy = add_noise(matrix, std=0.3, rng=np.random.default_rng(6))
+    print(
+        f"{organism}: {matrix.num_samples} samples x {matrix.num_genes} genes, "
+        f"{len(matrix.truth_edges)} gold-standard edges"
+    )
+
+    estimator = EdgeProbabilityEstimator(
+        n_samples=400, semantics="two_sided", seed=5
+    )
+    print(f"IM-GRN measure: {estimator.resolved_samples()} permutations/pair "
+          f"(Eq. 1, two-sided absolute-correlation test)\n")
+
+    header = f"{'measure':<14} {'data':<8} {'AUC':>7} {'TPR@FPR<=5%':>12} {'TPR@FPR<=10%':>13}"
+    print(header)
+    print("-" * len(header))
+    for tag, data in (("clean", matrix), ("noisy", noisy)):
+        for name, score_matrix in scores_for(data, estimator).items():
+            curve = roc_curve_from_scores(
+                score_matrix, data.gene_ids, data.truth_edges, label=name
+            )
+            print(
+                f"{name:<14} {tag:<8} {curve.auc():>7.4f} "
+                f"{curve.tpr_at_fpr(0.05):>12.4f} {curve.tpr_at_fpr(0.10):>13.4f}"
+            )
+        print()
+
+    # The practical takeaway of Definition 2: the probabilistic measure
+    # gives the threshold gamma an interpretation (confidence level), so a
+    # biologist can pick gamma = 0.95 and know the expected false call rate
+    # under the randomization null.
+    probs = estimator.probability_matrix(matrix.values)
+    for gamma in (0.5, 0.8, 0.95, 0.99):
+        iu, ju = np.triu_indices(matrix.num_genes, k=1)
+        called = probs[iu, ju] > gamma
+        idx = {g: i for i, g in enumerate(matrix.gene_ids)}
+        truth = {
+            tuple(sorted((idx[u], idx[v]))) for u, v in matrix.truth_edges
+        }
+        hits = sum(
+            1
+            for i, j, c in zip(iu, ju, called)
+            if c and (i, j) in truth
+        )
+        print(
+            f"gamma={gamma:<5} -> {int(called.sum()):5d} edges called, "
+            f"{hits:3d} of {len(truth)} gold edges recovered"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Appendix-A use case: near-duplicate video detection over inferred graphs.
+
+Each video is modelled as a graph whose vertices are keyframes (scenes)
+and whose edges are *inferred* similarities between keyframe features
+(colour histograms). Near-duplicates -- re-encoded, brightness-shifted or
+contrast-scaled copies -- preserve that similarity structure, because the
+randomized correlation measure is invariant to per-frame affine transforms.
+Given a copyrighted query clip and an ad-hoc similarity threshold, the
+engine retrieves videos whose inferred scene-similarity graphs contain the
+query's pattern -- candidate copyright violations.
+
+Uses the generalized :mod:`repro.adhoc` facade (the same measure, pruning,
+embedding and R*-tree as IM-GRN, with domain-neutral vocabulary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EngineConfig
+from repro.adhoc import AdHocMatchEngine, FeatureCollection
+
+HISTOGRAM_BINS = 48
+SCENES = 10  # keyframes per video; labels 0..9 are scene positions
+#: The copyrighted video's shot structure: keyframes within a shot share
+#: most of their visual content, keyframes across shots are independent.
+#: That structure IS the video's similarity graph.
+SHOTS = ((0, 1, 2), (3, 4), (5, 6, 7), (8, 9))
+
+
+def original_video(rng: np.random.Generator) -> np.ndarray:
+    """Keyframe histograms of the copyrighted video (bins x scenes)."""
+    frames = np.empty((HISTOGRAM_BINS, SCENES))
+    for shot in SHOTS:
+        shot_content = rng.gamma(2.0, 1.0, size=HISTOGRAM_BINS)
+        for scene in shot:
+            individual = rng.gamma(2.0, 1.0, size=HISTOGRAM_BINS)
+            frames[:, scene] = 0.9 * shot_content + 0.1 * individual
+    return frames
+
+
+def near_duplicate(
+    master: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """A pirated copy: re-encoded (noise), brightness/contrast adjusted.
+
+    Per-frame affine transforms (gain * histogram + offset) model global
+    brightness/contrast edits; small noise models re-encoding artifacts.
+    """
+    gain = rng.uniform(0.5, 2.0)
+    offset = rng.uniform(0.0, 1.0)
+    noise = 0.1 * master.std() * rng.normal(size=master.shape)
+    return gain * master + offset + noise
+
+
+def unrelated_video(rng: np.random.Generator) -> np.ndarray:
+    """Independent content: no persistent scene-to-scene structure."""
+    return rng.gamma(2.0, 1.0, size=(HISTOGRAM_BINS, SCENES))
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    master = original_video(rng)
+
+    # The corpus: 30 videos; five of them are disguised copies.
+    copies = {3, 11, 19, 24, 28}
+    collections = []
+    for vid in range(30):
+        if vid in copies:
+            features = near_duplicate(master, rng)
+        else:
+            features = unrelated_video(rng)
+        collections.append(
+            FeatureCollection(vid, tuple(range(SCENES)), features)
+        )
+    engine = AdHocMatchEngine(collections, EngineConfig(seed=31))
+    engine.build()
+    print("corpus indexed:", engine.stats())
+
+    # The rights holder queries with a 5-scene excerpt of the original
+    # (two full shots), itself degraded (as uploaded evidence often is).
+    excerpt_scenes = (3, 4, 5, 6, 7)
+    excerpt = near_duplicate(master[:, list(excerpt_scenes)], rng)
+    query = FeatureCollection(999, excerpt_scenes, excerpt)
+
+    gamma, alpha = 0.9, 0.3
+    result = engine.query(query, gamma=gamma, alpha=alpha)
+    print(
+        f"\nquery clip: scenes {excerpt_scenes}, inferred similarity graph "
+        f"has {result.query_graph.num_edges} edges"
+    )
+    flagged = set(result.answer_sources())
+    print(f"flagged videos:   {sorted(flagged)}")
+    print(f"actual copies:    {sorted(copies)}")
+    recall = len(flagged & copies) / len(copies)
+    precision = len(flagged & copies) / len(flagged) if flagged else 0.0
+    print(f"recall={recall:.2f}  precision={precision:.2f}")
+    print(
+        f"cost: {result.stats.cpu_seconds * 1e3:.1f} ms, "
+        f"{result.stats.io_accesses} page accesses, "
+        f"{result.stats.candidates} candidates"
+    )
+    assert flagged == copies, "detection should be exact on this corpus"
+
+
+if __name__ == "__main__":
+    main()

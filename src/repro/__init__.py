@@ -1,0 +1,134 @@
+"""IM-GRN: ad-hoc inference and matching over gene regulatory networks.
+
+A from-scratch reproduction of Lian & Kim, *Efficient Ad-Hoc Graph
+Inference and Matching in Biological Databases*, SIGMOD 2017.
+
+Typical usage::
+
+    from repro import (
+        EngineConfig, GeneFeatureDatabase, GeneFeatureMatrix, IMGRNEngine,
+    )
+
+    database = GeneFeatureDatabase([...])        # l_i x n_i matrices
+    engine = IMGRNEngine(database, EngineConfig(num_pivots=2))
+    engine.build()                               # pivots + R*-tree + IF
+    result = engine.query(query_matrix, gamma=0.5, alpha=0.5)
+    print(result.answer_sources(), result.stats.io_accesses)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from .config import (
+    DEFAULTS,
+    PAPER_GRID,
+    Defaults,
+    EngineConfig,
+    ParameterGrid,
+    SyntheticConfig,
+)
+from .adhoc import AdHocMatchEngine, FeatureCollection
+from .core.baseline import BaselineEngine, LinearScanEngine
+from .core.measure_engine import MeasureScanEngine
+from .core.measures import (
+    MEASURES,
+    parametric_edge_probability,
+    randomized_measure_matrix,
+    randomized_measure_probability,
+)
+from .core.persistence import load_engine, save_engine
+from .core.inference import (
+    EdgeProbabilityEstimator,
+    edge_probability_correlation,
+    edge_probability_distance,
+    edge_probability_exact,
+    edge_probability_matrix,
+    infer_grn,
+    infer_grn_correlation,
+    infer_grn_partial_correlation,
+)
+from .core.matching import Embedding, best_embedding, find_embeddings, matches
+from .core.probgraph import ProbabilisticGraph, edge_key
+from .core.query import IMGRNAnswer, IMGRNEngine, IMGRNResult
+from .data.database import GeneFeatureDatabase
+from .data.matrix import GeneFeatureMatrix
+from .data.noise import add_noise, add_noise_to_database
+from .data.organisms import ORGANISMS, OrganismSpec, generate_organism_matrix
+from .data.queries import extract_query, generate_query_workload
+from .data.synthetic import generate_database, generate_matrix
+from .errors import (
+    DegenerateVectorError,
+    DimensionMismatchError,
+    EmptyDatabaseError,
+    IndexNotBuiltError,
+    InternalError,
+    ReproError,
+    UnknownGeneError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "DEFAULTS",
+    "PAPER_GRID",
+    "Defaults",
+    "EngineConfig",
+    "ParameterGrid",
+    "SyntheticConfig",
+    # graph model & inference
+    "ProbabilisticGraph",
+    "edge_key",
+    "EdgeProbabilityEstimator",
+    "edge_probability_correlation",
+    "edge_probability_distance",
+    "edge_probability_exact",
+    "edge_probability_matrix",
+    "infer_grn",
+    "infer_grn_correlation",
+    "infer_grn_partial_correlation",
+    # matching
+    "Embedding",
+    "best_embedding",
+    "find_embeddings",
+    "matches",
+    # engines
+    "IMGRNAnswer",
+    "IMGRNEngine",
+    "IMGRNResult",
+    "BaselineEngine",
+    "LinearScanEngine",
+    "MeasureScanEngine",
+    "save_engine",
+    "load_engine",
+    # generalizations (Appendix A / future work)
+    "AdHocMatchEngine",
+    "FeatureCollection",
+    "MEASURES",
+    "randomized_measure_probability",
+    "randomized_measure_matrix",
+    "parametric_edge_probability",
+    # data
+    "GeneFeatureDatabase",
+    "GeneFeatureMatrix",
+    "add_noise",
+    "add_noise_to_database",
+    "ORGANISMS",
+    "OrganismSpec",
+    "generate_organism_matrix",
+    "extract_query",
+    "generate_query_workload",
+    "generate_database",
+    "generate_matrix",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "DimensionMismatchError",
+    "DegenerateVectorError",
+    "EmptyDatabaseError",
+    "UnknownGeneError",
+    "IndexNotBuiltError",
+    "InternalError",
+]

@@ -1,0 +1,5 @@
+"""Generalized ad-hoc graph inference and matching (Appendix A)."""
+
+from .framework import AdHocMatchEngine, FeatureCollection
+
+__all__ = ["AdHocMatchEngine", "FeatureCollection"]

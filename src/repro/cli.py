@@ -1,0 +1,170 @@
+"""Command-line entry point: ``imgrn <experiment> [options]``.
+
+Runs any of the paper's experiments and prints its series, e.g.::
+
+    imgrn roc --organism ecoli
+    imgrn gamma --n-matrices 100
+    imgrn vs-baseline --queries 3
+    imgrn index-build
+
+Every option has a laptop-scale default; the sweeps reproduce the figure
+*shapes* of the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .eval import experiments
+from .eval.reporting import format_roc_summary, format_table, render_roc_ascii
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="imgrn",
+        description="Run IM-GRN reproduction experiments (SIGMOD 2017).",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    roc = sub.add_parser("roc", help="Fig. 5(a)/14: ROC of IM-GRN vs Correlation")
+    roc.add_argument("--organism", default="ecoli",
+                     choices=["ecoli", "saureus", "scerevisiae"])
+    roc.add_argument("--genes", type=int, default=120)
+    roc.add_argument("--mc-samples", type=int, default=300)
+    roc.add_argument("--seed", type=int, default=7)
+    roc.add_argument("--plot", action="store_true",
+                     help="render an ASCII ROC plot")
+
+    pcorr = sub.add_parser("pcorr", help="Fig. 15: ROC of IM-GRN vs pCorr")
+    pcorr.add_argument("--organism", default="ecoli",
+                       choices=["ecoli", "saureus", "scerevisiae"])
+    pcorr.add_argument("--genes", type=int, default=120)
+    pcorr.add_argument("--mc-samples", type=int, default=300)
+    pcorr.add_argument("--seed", type=int, default=7)
+    pcorr.add_argument("--plot", action="store_true",
+                       help="render an ASCII ROC plot")
+
+    itime = sub.add_parser("inference-time", help="Fig. 5(b): inference wall-clock")
+    itime.add_argument("--sizes", type=int, nargs="+", default=[50, 100, 150, 200])
+    itime.add_argument("--seed", type=int, default=7)
+
+    vsb = sub.add_parser("vs-baseline", help="Fig. 6: IM-GRN vs Baseline")
+    vsb.add_argument("--n-matrices", type=int, default=60)
+    vsb.add_argument("--queries", type=int, default=5)
+    vsb.add_argument("--linear-scan", action="store_true",
+                     help="also run the pruning-only linear scan")
+    vsb.add_argument("--seed", type=int, default=7)
+
+    for name, help_text in (
+        ("gamma", "Fig. 7: sweep the inference threshold gamma"),
+        ("alpha", "Fig. 8: sweep the probabilistic threshold alpha"),
+        ("pivots", "Fig. 9: sweep the number of pivots d"),
+        ("query-size", "Fig. 10: sweep the number of query genes n_Q"),
+        ("matrix-size", "Fig. 11: sweep genes-per-matrix range"),
+        ("database-size", "Fig. 12: sweep the number of matrices N"),
+    ):
+        sweep = sub.add_parser(name, help=help_text)
+        sweep.add_argument("--n-matrices", type=int, default=None)
+        sweep.add_argument("--queries", type=int, default=8)
+        sweep.add_argument("--seed", type=int, default=7)
+
+    build = sub.add_parser("index-build", help="Fig. 13: index construction time")
+    build.add_argument("--seed", type=int, default=7)
+
+    report = sub.add_parser(
+        "report", help="collate the measured series from benchmarks/out/"
+    )
+    report.add_argument(
+        "--out-dir",
+        default=None,
+        help="directory holding the bench outputs (default: benchmarks/out)",
+    )
+    return parser
+
+
+def _run_report(out_dir: str | None) -> int:
+    """Print every stored bench series (the EXPERIMENTS.md raw material)."""
+    from pathlib import Path
+
+    directory = (
+        Path(out_dir)
+        if out_dir is not None
+        else Path(__file__).resolve().parent.parent.parent / "benchmarks" / "out"
+    )
+    files = sorted(directory.glob("*.txt")) if directory.is_dir() else []
+    if not files:
+        print(
+            f"no bench outputs under {directory}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    for path in files:
+        print(f"### {path.stem}")
+        print(path.read_text(encoding="utf-8").rstrip())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    name = args.experiment
+
+    if name == "report":
+        return _run_report(args.out_dir)
+
+    if name in ("roc", "pcorr"):
+        driver = experiments.roc_inference if name == "roc" else experiments.roc_pcorr
+        curves = driver(
+            organism=args.organism,
+            genes=args.genes,
+            mc_samples=args.mc_samples,
+            seed=args.seed,
+        )
+        print(format_roc_summary(curves))
+        if args.plot:
+            print()
+            print(render_roc_ascii(curves))
+        return 0
+
+    if name == "inference-time":
+        result = experiments.inference_time(
+            sizes=tuple(args.sizes), seed=args.seed
+        )
+    elif name == "vs-baseline":
+        result = experiments.vs_baseline(
+            n_matrices=args.n_matrices,
+            num_queries=args.queries,
+            include_linear_scan=args.linear_scan,
+            seed=args.seed,
+        )
+    elif name == "index-build":
+        result = experiments.index_construction(seed=args.seed)
+    else:
+        sweep_kwargs: dict[str, object] = {
+            "num_queries": args.queries,
+            "seed": args.seed,
+        }
+        if args.n_matrices is not None and name != "database-size":
+            sweep_kwargs["n_matrices"] = args.n_matrices
+        driver_by_name = {
+            "gamma": experiments.vary_gamma,
+            "alpha": experiments.vary_alpha,
+            "pivots": experiments.vary_pivots,
+            "query-size": experiments.vary_query_size,
+            "matrix-size": experiments.vary_matrix_size,
+            "database-size": experiments.vary_database_size,
+        }
+        result = driver_by_name[name](**sweep_kwargs)  # type: ignore[operator]
+
+    print(format_table(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

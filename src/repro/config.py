@@ -1,0 +1,212 @@
+"""Parameter dataclasses mirroring Table 2 of the paper.
+
+The paper evaluates IM-GRN over a grid of six parameters (Table 2), with one
+default (bold) value each::
+
+    gamma                 0.2, 0.3, *0.5*, 0.8, 0.9
+    alpha                 0.2, 0.3, *0.5*, 0.8, 0.9
+    d                     1, *2*, 3, 4
+    n_Q                   2, 3, *5*, 8, 10
+    [n_min, n_max]        [10,20], [20,50], *[50,100]*, [100,200], [200,300]
+    N                     10K ... 100K  (we default to a laptop-scale N)
+
+This module centralizes those values so every benchmark and experiment pulls
+the same grid, and bundles the knobs of the query engine
+(:class:`EngineConfig`) and of the synthetic data generator
+(:class:`SyntheticConfig`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ValidationError
+
+__all__ = [
+    "ParameterGrid",
+    "Defaults",
+    "EngineConfig",
+    "SyntheticConfig",
+    "PAPER_GRID",
+    "DEFAULTS",
+]
+
+
+def _check_unit_interval(name: str, value: float) -> None:
+    if not 0.0 <= value < 1.0:
+        raise ValidationError(f"{name} must be in [0,1), got {value}")
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """The sweep values of Table 2.
+
+    ``n_matrices`` is scaled down from the paper's 10K-100K because this is a
+    pure-Python substrate; the sweep *shape* (6 points, 10x span) matches.
+    """
+
+    gamma: tuple[float, ...] = (0.2, 0.3, 0.5, 0.8, 0.9)
+    alpha: tuple[float, ...] = (0.2, 0.3, 0.5, 0.8, 0.9)
+    num_pivots: tuple[int, ...] = (1, 2, 3, 4)
+    query_genes: tuple[int, ...] = (2, 3, 5, 8, 10)
+    genes_per_matrix: tuple[tuple[int, int], ...] = (
+        (10, 20),
+        (20, 50),
+        (50, 100),
+        (100, 200),
+        (200, 300),
+    )
+    n_matrices: tuple[int, ...] = (100, 200, 300, 400, 500, 1000)
+
+
+@dataclass(frozen=True)
+class Defaults:
+    """Default (bold in Table 2) parameter values."""
+
+    gamma: float = 0.5
+    alpha: float = 0.5
+    num_pivots: int = 2
+    query_genes: int = 5
+    genes_per_matrix: tuple[int, int] = (50, 100)
+    n_matrices: int = 200
+    samples_per_matrix: tuple[int, int] = (12, 24)
+
+    def __post_init__(self) -> None:
+        _check_unit_interval("gamma", self.gamma)
+        _check_unit_interval("alpha", self.alpha)
+        if self.num_pivots < 1:
+            raise ValidationError(f"num_pivots must be >= 1, got {self.num_pivots}")
+        if self.query_genes < 2:
+            raise ValidationError(f"query_genes must be >= 2, got {self.query_genes}")
+
+
+PAPER_GRID = ParameterGrid()
+DEFAULTS = Defaults()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of :class:`repro.core.query.IMGRNEngine`.
+
+    Attributes
+    ----------
+    num_pivots:
+        ``d`` in the paper; the embedding is ``2d+1``-dimensional.
+    bitvector_bits:
+        ``B``, the width of the gene-ID and source-ID signatures.
+    mc_samples:
+        Monte-Carlo sample count ``S`` for exact edge probabilities during
+        refinement. ``None`` derives S from (epsilon, delta) via Lemma 2.
+    epsilon, delta:
+        Lemma-2 accuracy/confidence used when ``mc_samples is None``.
+    pivot_global_iter, pivot_swap_iter:
+        The two loop bounds of the Fig.-3 pivot-selection algorithm.
+    expectation_mode:
+        ``"jensen"`` uses the closed-form sound upper bound on
+        ``E[dist(X^R, piv)]`` (keeps all pruning lemmas false-dismissal
+        free); ``"mc"`` uses a Monte-Carlo estimate like the paper.
+    anchor_strategy:
+        How the traversal picks its anchor query gene: ``"highest_degree"``
+        (Fig. 4's choice), ``"random"`` or ``"first"`` (ablations).
+    rstar_max_entries:
+        R*-tree node fan-out (one node == one page for I/O accounting).
+    seed:
+        Seed for every stochastic component of the engine.
+    """
+
+    num_pivots: int = DEFAULTS.num_pivots
+    bitvector_bits: int = 1024
+    mc_samples: int | None = 200
+    epsilon: float = 0.25
+    delta: float = 0.05
+    pivot_global_iter: int = 3
+    pivot_swap_iter: int = 20
+    expectation_mode: str = "jensen"
+    expectation_samples: int = 32
+    anchor_strategy: str = "highest_degree"
+    rstar_max_entries: int = 16
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_pivots < 1:
+            raise ValidationError(f"num_pivots must be >= 1, got {self.num_pivots}")
+        if self.bitvector_bits < 8:
+            raise ValidationError(
+                f"bitvector_bits must be >= 8, got {self.bitvector_bits}"
+            )
+        if self.mc_samples is not None and self.mc_samples < 1:
+            raise ValidationError(f"mc_samples must be >= 1, got {self.mc_samples}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValidationError(f"epsilon must be in (0,1), got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValidationError(f"delta must be in (0,1), got {self.delta}")
+        if self.expectation_mode not in ("jensen", "mc"):
+            raise ValidationError(
+                "expectation_mode must be 'jensen' or 'mc', got "
+                f"{self.expectation_mode!r}"
+            )
+        if self.anchor_strategy not in ("highest_degree", "random", "first"):
+            raise ValidationError(
+                "anchor_strategy must be 'highest_degree', 'random' or "
+                f"'first', got {self.anchor_strategy!r}"
+            )
+        if self.rstar_max_entries < 4:
+            raise ValidationError(
+                f"rstar_max_entries must be >= 4, got {self.rstar_max_entries}"
+            )
+
+    def with_(self, **changes: object) -> "EngineConfig":
+        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the Section-6.1 linear-model generator.
+
+    ``M_i = E_i (I - B_i)^{-1}`` with ``B_i`` a sparse adjacency whose
+    non-zeros follow either a Uniform mixture over ``[-1,-0.5] u [0.5,1]``
+    (``weights="uni"``) or the folded Gaussian variant of N(1, 0.01)
+    (``weights="gau"``), and ``E_i`` Gaussian noise N(0, noise_variance).
+    """
+
+    weights: str = "uni"
+    avg_in_degree: float = 1.0
+    noise_variance: float = 0.01
+    genes_range: tuple[int, int] = DEFAULTS.genes_per_matrix
+    samples_range: tuple[int, int] = DEFAULTS.samples_per_matrix
+    gene_pool: int = 600
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.weights not in ("uni", "gau"):
+            raise ValidationError(
+                f"weights must be 'uni' or 'gau', got {self.weights!r}"
+            )
+        if self.avg_in_degree <= 0:
+            raise ValidationError(
+                f"avg_in_degree must be > 0, got {self.avg_in_degree}"
+            )
+        if self.noise_variance <= 0:
+            raise ValidationError(
+                f"noise_variance must be > 0, got {self.noise_variance}"
+            )
+        lo, hi = self.genes_range
+        if not 2 <= lo <= hi:
+            raise ValidationError(f"invalid genes_range {self.genes_range}")
+        lo, hi = self.samples_range
+        if not 3 <= lo <= hi:
+            raise ValidationError(f"invalid samples_range {self.samples_range}")
+        if self.gene_pool < self.genes_range[1]:
+            raise ValidationError(
+                "gene_pool must be >= genes_range upper bound "
+                f"({self.gene_pool} < {self.genes_range[1]})"
+            )
+
+    def with_(self, **changes: object) -> "SyntheticConfig":
+        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+# ``field`` is re-exported for dataclass consumers that extend the configs.
+_ = field

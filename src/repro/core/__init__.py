@@ -1,0 +1,19 @@
+"""Core IM-GRN machinery: inference, pruning, embedding, query processing."""
+
+from .inference import EdgeProbabilityEstimator, infer_grn
+from .matching import Embedding, find_embeddings, matches
+from .probgraph import ProbabilisticGraph, edge_key
+from .query import IMGRNAnswer, IMGRNEngine, IMGRNResult
+
+__all__ = [
+    "EdgeProbabilityEstimator",
+    "infer_grn",
+    "Embedding",
+    "find_embeddings",
+    "matches",
+    "ProbabilisticGraph",
+    "edge_key",
+    "IMGRNAnswer",
+    "IMGRNEngine",
+    "IMGRNResult",
+]

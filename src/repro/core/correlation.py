@@ -1,0 +1,163 @@
+"""Correlation measures: Pearson, absolute Pearson, partial correlation.
+
+These are the scoring functions of the paper's competitors and the raw
+material of its own probabilistic measure:
+
+* ``Correlation`` (relevance networks, [4] in the paper) thresholds the
+  absolute Pearson coefficient ``r(X_s, X_t)`` (Eq. 2).
+* ``pCorr`` (Appendix H) thresholds the absolute *partial* correlation,
+  which removes the linear effect of all other genes.
+* IM-GRN itself compares ``r(X_s, X_t)`` against the correlation of
+  randomized vectors (Eq. 1); the comparison is carried out in Euclidean
+  space after Lemma 1, see :mod:`repro.core.inference`.
+
+All functions operate on raw (not necessarily standardized) inputs and do
+their own centering, so they are safe to call directly on database columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DegenerateVectorError, DimensionMismatchError
+from .standardize import validate_same_length
+
+__all__ = [
+    "pearson",
+    "absolute_pearson",
+    "correlation_matrix",
+    "absolute_correlation_matrix",
+    "partial_correlation_matrix",
+    "correlation_from_distance",
+    "distance_from_correlation",
+]
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length 1-D vectors.
+
+    Raises
+    ------
+    DegenerateVectorError
+        If either vector is constant.
+    DimensionMismatchError
+        If the vectors differ in length or are not 1-D.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = validate_same_length(x, y)
+    if n < 2:
+        raise DimensionMismatchError("need at least 2 samples for correlation")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt(float(xc @ xc)) * np.sqrt(float(yc @ yc))
+    if denom <= 0.0 or not np.isfinite(denom):
+        raise DegenerateVectorError("correlation undefined for constant vector")
+    r = float(xc @ yc) / denom
+    # Clamp tiny numerical overshoot so callers can rely on r in [-1, 1].
+    return min(1.0, max(-1.0, r))
+
+
+def absolute_pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Absolute Pearson coefficient ``r(X_s, X_t)`` of Eq. 2."""
+    return abs(pearson(x, y))
+
+
+def correlation_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson correlations of the *columns* of an ``l x n`` matrix.
+
+    Vectorized equivalent of calling :func:`pearson` on every column pair.
+    The diagonal is exactly 1.
+
+    Raises
+    ------
+    DegenerateVectorError
+        If any column is constant.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DimensionMismatchError(f"expected 2-D matrix, got {arr.shape}")
+    if arr.shape[0] < 2:
+        raise DimensionMismatchError("need at least 2 sample rows")
+    centered = arr - arr.mean(axis=0, keepdims=True)
+    norms = np.sqrt(np.sum(centered * centered, axis=0))
+    bad = ~(norms > 0.0)
+    if np.any(bad):
+        cols = np.flatnonzero(bad).tolist()
+        raise DegenerateVectorError(f"constant columns at indices {cols}")
+    normalized = centered / norms
+    corr = normalized.T @ normalized
+    np.clip(corr, -1.0, 1.0, out=corr)
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def absolute_correlation_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise absolute Pearson correlations of the columns (Eq. 2)."""
+    return np.abs(correlation_matrix(matrix))
+
+
+def partial_correlation_matrix(matrix: np.ndarray, shrinkage: float = 1e-3) -> np.ndarray:
+    """Pairwise partial correlations of the columns (the ``pCorr`` competitor).
+
+    The partial correlation between genes *s* and *t* conditions on all the
+    other genes; it is obtained from the inverse of the (shrunk) correlation
+    matrix P via ``pcor[s,t] = -P[s,t] / sqrt(P[s,s] * P[t,t])``.
+
+    Parameters
+    ----------
+    matrix:
+        ``l x n`` feature matrix (columns are genes).
+    shrinkage:
+        Ridge added to the correlation matrix diagonal before inversion.
+        Microarray data routinely has more genes than samples, which makes
+        the raw correlation matrix singular; the standard remedy (Schafer &
+        Strimmer-style shrinkage) keeps the inverse well defined.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``n x n`` symmetric matrix with unit diagonal.
+    """
+    if not 0.0 <= shrinkage < 1.0:
+        raise DimensionMismatchError(
+            f"shrinkage must be in [0,1), got {shrinkage}"
+        )
+    corr = correlation_matrix(matrix)
+    n = corr.shape[0]
+    shrunk = (1.0 - shrinkage) * corr + shrinkage * np.eye(n)
+    try:
+        precision = np.linalg.inv(shrunk)
+    except np.linalg.LinAlgError:
+        precision = np.linalg.pinv(shrunk)
+    diag = np.sqrt(np.abs(np.diag(precision)))
+    outer = np.outer(diag, diag)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pcor = -precision / outer
+    pcor[~np.isfinite(pcor)] = 0.0
+    np.clip(pcor, -1.0, 1.0, out=pcor)
+    np.fill_diagonal(pcor, 1.0)
+    return pcor
+
+
+def correlation_from_distance(dist: float, length: int) -> float:
+    """Invert the Appendix-B identity: ``cor = 1 - dist^2 / (2*l)``.
+
+    Valid only for distances between *standardized* vectors of length
+    ``length``.
+    """
+    if length < 2:
+        raise DimensionMismatchError(f"length must be >= 2, got {length}")
+    if dist < 0.0:
+        raise DimensionMismatchError(f"distance must be >= 0, got {dist}")
+    return 1.0 - (dist * dist) / (2.0 * length)
+
+
+def distance_from_correlation(cor: float, length: int) -> float:
+    """Appendix-B identity: ``dist = sqrt(2*l*(1 - cor))`` (standardized)."""
+    if length < 2:
+        raise DimensionMismatchError(f"length must be >= 2, got {length}")
+    if not -1.0 - 1e-12 <= cor <= 1.0 + 1e-12:
+        raise DimensionMismatchError(f"correlation must be in [-1,1], got {cor}")
+    cor = min(1.0, max(-1.0, cor))
+    return float(np.sqrt(2.0 * length * (1.0 - cor)))

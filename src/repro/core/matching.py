@@ -1,0 +1,245 @@
+"""Probabilistic subgraph isomorphism between GRN graphs.
+
+Definition 4 asks whether the query GRN ``Q`` is isomorphic to a subgraph
+``G`` of a data GRN ``G_i`` with appearance probability ``Pr{G} > alpha``.
+This module implements a backtracking matcher over
+:class:`~repro.core.probgraph.ProbabilisticGraph` with two label modes:
+
+* ``"exact"`` -- gene labels must be preserved (the paper's setting: the
+  bit-vector filters of Section 5 match query gene *names* against data
+  gene names, so an embedding maps each query gene onto the data gene with
+  the same ID). With unique labels the mapping is forced, which is exactly
+  why the paper's candidate verification is cheap.
+* ``"ignore"`` -- plain structural subgraph isomorphism (NP-hard in
+  general), provided for the generalized problem class of Appendix A and
+  cross-checked against networkx's VF2 in the test suite.
+
+The matcher folds the probabilistic threshold into the search: partial
+products of edge probabilities only ever shrink, so any partial embedding
+whose product is already ``<= alpha`` is pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from .probgraph import ProbabilisticGraph, edge_key
+
+__all__ = ["Embedding", "find_embeddings", "best_embedding", "matches"]
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """One subgraph-isomorphism embedding of a query into a data graph.
+
+    Attributes
+    ----------
+    mapping:
+        ``query gene ID -> data gene ID`` for every query vertex.
+    probability:
+        Appearance probability ``Pr{G}`` (Eq. 3) of the matched subgraph:
+        the product of data-edge probabilities over the images of the
+        query edges.
+    """
+
+    mapping: tuple[tuple[int, int], ...]
+    probability: float
+
+    def as_dict(self) -> dict[int, int]:
+        """The mapping as a plain dict."""
+        return dict(self.mapping)
+
+    def matched_edges(self, query: ProbabilisticGraph) -> list[tuple[int, int]]:
+        """Data-graph edge keys that are images of the query edges."""
+        m = self.as_dict()
+        return [edge_key(m[u], m[v]) for (u, v), _ in query.edges()]
+
+
+def find_embeddings(
+    query: ProbabilisticGraph,
+    data: ProbabilisticGraph,
+    alpha: float = 0.0,
+    label_mode: str = "exact",
+    max_embeddings: int | None = None,
+) -> list[Embedding]:
+    """All embeddings of ``query`` into ``data`` with ``Pr{G} > alpha``.
+
+    Parameters
+    ----------
+    query, data:
+        Probabilistic GRN graphs. The query is typically inferred from the
+        query feature matrix ``M_Q`` at threshold ``gamma``.
+    alpha:
+        Probabilistic threshold of Definition 4; embeddings whose product
+        of matched-edge probabilities is ``<= alpha`` are discarded (and
+        pruned mid-search).
+    label_mode:
+        ``"exact"`` (labels preserved) or ``"ignore"`` (structure only).
+    max_embeddings:
+        Optional cap; the search stops once this many embeddings are found.
+
+    Returns
+    -------
+    list[Embedding]
+        Sorted by descending probability, then mapping for determinism.
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise ValidationError(f"alpha must be in [0,1), got {alpha}")
+    if label_mode not in ("exact", "ignore"):
+        raise ValidationError(
+            f"label_mode must be 'exact' or 'ignore', got {label_mode!r}"
+        )
+    if query.num_vertices == 0:
+        return []
+    if query.num_vertices > data.num_vertices:
+        return []
+
+    if label_mode == "exact":
+        embeddings = _exact_label_embeddings(query, data, alpha)
+    else:
+        embeddings = _backtracking_embeddings(query, data, alpha, max_embeddings)
+
+    embeddings.sort(key=lambda e: (-e.probability, e.mapping))
+    if max_embeddings is not None:
+        return embeddings[:max_embeddings]
+    return embeddings
+
+
+def best_embedding(
+    query: ProbabilisticGraph,
+    data: ProbabilisticGraph,
+    alpha: float = 0.0,
+    label_mode: str = "exact",
+) -> Embedding | None:
+    """The highest-probability embedding, or ``None`` if none qualifies."""
+    found = find_embeddings(query, data, alpha=alpha, label_mode=label_mode)
+    return found[0] if found else None
+
+
+def matches(
+    query: ProbabilisticGraph,
+    data: ProbabilisticGraph,
+    alpha: float = 0.0,
+    label_mode: str = "exact",
+) -> bool:
+    """True iff some subgraph of ``data`` matches ``query`` above ``alpha``."""
+    if label_mode == "exact":
+        return bool(_exact_label_embeddings(query, data, alpha))
+    return bool(_backtracking_embeddings(query, data, alpha, max_embeddings=1))
+
+
+# ----------------------------------------------------------------------
+# Exact-label mode: unique labels force the mapping.
+# ----------------------------------------------------------------------
+def _exact_label_embeddings(
+    query: ProbabilisticGraph, data: ProbabilisticGraph, alpha: float
+) -> list[Embedding]:
+    for gene in query.gene_ids:
+        if gene not in data:
+            return []
+    probability = 1.0
+    for (u, v), _qp in query.edges():
+        if not data.has_edge(u, v):
+            return []
+        probability *= data.edge_probability(u, v)
+        if probability <= alpha:
+            return []
+    mapping = tuple((g, g) for g in sorted(query.gene_ids))
+    return [Embedding(mapping, probability)]
+
+
+# ----------------------------------------------------------------------
+# Structural mode: VF2-style backtracking with probability pruning.
+# ----------------------------------------------------------------------
+def _backtracking_embeddings(
+    query: ProbabilisticGraph,
+    data: ProbabilisticGraph,
+    alpha: float,
+    max_embeddings: int | None,
+) -> list[Embedding]:
+    order = _search_order(query)
+    degrees = {g: data.degree(g) for g in data.gene_ids}
+    results: list[Embedding] = []
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+
+    def extend(depth: int, probability: float) -> bool:
+        """Returns True when the embedding cap has been reached."""
+        if depth == len(order):
+            pairs = tuple(sorted(mapping.items()))
+            results.append(Embedding(pairs, probability))
+            return max_embeddings is not None and len(results) >= max_embeddings
+        q_vertex = order[depth]
+        q_degree = query.degree(q_vertex)
+        mapped_neighbors = [
+            (n, mapping[n]) for n in query.neighbors(q_vertex) if n in mapping
+        ]
+        candidates = _candidates(data, degrees, used, q_degree, mapped_neighbors)
+        for d_vertex in candidates:
+            new_probability = probability
+            feasible = True
+            for _qn, dn in mapped_neighbors:
+                new_probability *= data.edge_probability(d_vertex, dn)
+                if new_probability <= alpha:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            mapping[q_vertex] = d_vertex
+            used.add(d_vertex)
+            done = extend(depth + 1, new_probability)
+            used.discard(d_vertex)
+            del mapping[q_vertex]
+            if done:
+                return True
+        return False
+
+    extend(0, 1.0)
+    return results
+
+
+def _search_order(query: ProbabilisticGraph) -> list[int]:
+    """Connectivity-first vertex ordering: start at the highest-degree
+    vertex and always extend into the mapped frontier when possible."""
+    remaining = set(query.gene_ids)
+    order: list[int] = []
+    while remaining:
+        frontier = [
+            g for g in remaining if any(n in order for n in query.neighbors(g))
+        ]
+        pool = frontier or sorted(remaining)
+        nxt = max(pool, key=lambda g: (query.degree(g), -g))
+        order.append(nxt)
+        remaining.discard(nxt)
+    return order
+
+
+def _candidates(
+    data: ProbabilisticGraph,
+    degrees: dict[int, int],
+    used: set[int],
+    q_degree: int,
+    mapped_neighbors: list[tuple[int, int]],
+) -> list[int]:
+    """Data vertices consistent with the partial mapping.
+
+    When at least one query neighbor is already mapped, candidates are the
+    intersection of the mapped images' adjacency lists (much smaller than
+    the whole vertex set); otherwise all unused vertices qualify, filtered
+    by the degree lower bound.
+    """
+    if mapped_neighbors:
+        candidate_set: set[int] | None = None
+        for _qn, dn in mapped_neighbors:
+            neighbors = data.neighbors(dn)
+            candidate_set = (
+                set(neighbors) if candidate_set is None else candidate_set & neighbors
+            )
+            if not candidate_set:
+                return []
+        assert candidate_set is not None
+        pool = candidate_set - used
+    else:
+        pool = set(degrees) - used
+    return sorted(g for g in pool if degrees[g] >= q_degree)

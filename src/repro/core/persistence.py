@@ -1,0 +1,149 @@
+"""Engine persistence: save/load a built IM-GRN engine.
+
+The conclusion of the paper sketches a prototype system that keeps a
+standing index over gene feature data from many institutions. That needs
+the build artifacts to survive process restarts. This module serializes
+
+* the database (values, gene IDs, truth edges),
+* the engine configuration,
+* every matrix's embedding (pivot indices, x/y coordinates),
+
+into one compressed ``.npz`` archive. Loading restores the database and
+embeddings and re-inserts the (already-embedded) points into a fresh
+R*-tree -- skipping pivot selection and expectation computation, the
+numerically heavy part of :meth:`IMGRNEngine.build`. Because every
+component is deterministic given the archive, a loaded engine answers
+queries identically to the one that was saved (asserted in tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io as _io
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..config import EngineConfig
+from ..data.database import GeneFeatureDatabase
+from ..data.matrix import GeneFeatureMatrix
+from ..errors import IndexNotBuiltError, ValidationError
+from .embedding import EmbeddedMatrix
+from .query import IMGRNEngine, _MatrixEntry
+from .standardize import standardize_matrix
+
+__all__ = ["save_engine", "load_engine"]
+
+#: Archive format version (bump on layout changes).
+_FORMAT_VERSION = 1
+
+
+def save_engine(engine: IMGRNEngine, path: str | Path) -> None:
+    """Serialize a built engine to ``path`` (compressed ``.npz``).
+
+    Raises
+    ------
+    IndexNotBuiltError
+        If the engine has not been built.
+    """
+    if not engine.is_built:
+        raise IndexNotBuiltError("build() the engine before saving it")
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": dataclasses.asdict(engine.config),
+        "source_ids": [int(s) for s in engine.database.source_ids],
+    }
+    payload: dict[str, np.ndarray] = {
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    }
+    for matrix in engine.database:
+        sid = matrix.source_id
+        entry = engine._entries[sid]
+        payload[f"values_{sid}"] = matrix.values
+        payload[f"genes_{sid}"] = np.asarray(matrix.gene_ids, dtype=np.int64)
+        truth = sorted(matrix.truth_edges)
+        payload[f"truth_{sid}"] = (
+            np.asarray(truth, dtype=np.int64).reshape(-1, 2)
+            if truth
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        payload[f"pivots_{sid}"] = np.asarray(
+            entry.embedded.pivot_indices, dtype=np.int64
+        )
+        payload[f"embx_{sid}"] = np.asarray(entry.embedded.x)
+        payload[f"emby_{sid}"] = np.asarray(entry.embedded.y)
+    with _io.BytesIO() as buffer:
+        np.savez_compressed(buffer, **payload)
+        Path(path).write_bytes(buffer.getvalue())
+
+
+def load_engine(path: str | Path) -> IMGRNEngine:
+    """Restore an engine saved by :func:`save_engine` (index rebuilt from
+    the stored embeddings; no pivot selection or sampling re-runs)."""
+    from ..index.invertedfile import InvertedBitVectorFile
+    from ..index.pagemanager import PageManager
+    from ..index.rstartree import RStarTree
+
+    with np.load(Path(path)) as archive:
+        try:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        except KeyError as exc:
+            raise ValidationError(f"{path}: not an engine archive") from exc
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValidationError(
+                f"{path}: unsupported archive version "
+                f"{meta.get('format_version')!r}"
+            )
+        config = EngineConfig(**meta["config"])
+        database = GeneFeatureDatabase()
+        embeddings: dict[int, EmbeddedMatrix] = {}
+        for sid in meta["source_ids"]:
+            values = archive[f"values_{sid}"]
+            genes = [int(g) for g in archive[f"genes_{sid}"]]
+            truth = [(int(u), int(v)) for u, v in archive[f"truth_{sid}"]]
+            database.add(GeneFeatureMatrix(values, genes, int(sid), truth))
+            x = archive[f"embx_{sid}"].copy()
+            y = archive[f"emby_{sid}"].copy()
+            x.setflags(write=False)
+            y.setflags(write=False)
+            embeddings[int(sid)] = EmbeddedMatrix(
+                source_id=int(sid),
+                gene_ids=tuple(genes),
+                pivot_indices=tuple(
+                    int(p) for p in archive[f"pivots_{sid}"]
+                ),
+                x=x,
+                y=y,
+            )
+
+    engine = IMGRNEngine(database, config)
+    started = time.perf_counter()
+    engine.pages = PageManager()
+    engine.pages.pause()
+    tree = RStarTree(
+        dim=2 * config.num_pivots + 1,
+        max_entries=config.rstar_max_entries,
+        pages=engine.pages,
+        bitvector_bits=config.bitvector_bits,
+    )
+    inverted = InvertedBitVectorFile(config.bitvector_bits)
+    for matrix in database:
+        embedded = embeddings[matrix.source_id]
+        engine._entries[matrix.source_id] = _MatrixEntry(
+            matrix=matrix,
+            embedded=embedded,
+            standardized=standardize_matrix(matrix.values),
+        )
+        points = embedded.points()
+        for gene_index, gene_id in enumerate(embedded.gene_ids):
+            payload = engine._payload_key(matrix.source_id, gene_index)
+            tree.insert(points[gene_index], gene_id, matrix.source_id, payload)
+            inverted.add(gene_id, matrix.source_id)
+    tree.finalize()
+    engine.pages.resume()
+    engine.tree = tree
+    engine.inverted_file = inverted
+    engine.build_seconds = time.perf_counter() - started
+    return engine

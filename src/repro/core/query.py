@@ -1,0 +1,655 @@
+"""IM-GRN query processing (Section 5, Fig. 4).
+
+:class:`IMGRNEngine` owns the whole indexed pipeline:
+
+* **build**: per matrix, select pivots (Fig. 3), embed every gene vector
+  into ``2d+1`` dims (Section 4.2), insert the points into one R*-tree,
+  and register gene/source IDs in the inverted bit-vector file.
+* **query**: infer the query GRN ``Q`` from ``M_Q`` (with edge-inference
+  pruning), anchor the traversal at the highest-degree query gene, walk
+  the tree with a priority queue over node *pairs* -- applying bit-vector
+  filtering and the Lemma-6 index pruning at internal levels and the
+  pivot + Markov pruning at leaves -- then apply graph-existence pruning
+  (Lemma 5) and refine the few surviving candidates exactly.
+
+No GRN is ever materialized for non-candidate matrices: the existence
+probability of an edge is only ever *computed* (by Monte Carlo) during
+query-graph inference and final refinement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import EngineConfig
+from ..data.database import GeneFeatureDatabase
+from ..data.matrix import GeneFeatureMatrix
+from ..errors import (
+    IndexNotBuiltError,
+    InternalError,
+    UnknownGeneError,
+    ValidationError,
+)
+from ..eval.counters import QueryStats
+from ..index.bitvector import signature, signatures_overlap
+from ..index.invertedfile import SOURCE_SALT, InvertedBitVectorFile
+from ..index.node import Node
+from ..index.pagemanager import PageManager
+from ..index.rstartree import RStarTree
+from .embedding import EmbeddedMatrix, embed_matrix
+from .inference import EdgeProbabilityEstimator
+from .matching import Embedding
+from .probgraph import ProbabilisticGraph, edge_key
+from .pruning import (
+    edge_inference_prunable,
+    graph_existence_prunable,
+    graph_existence_upper_bound,
+    index_pair_prunable,
+    markov_edge_upper_bound,
+    pivot_edge_upper_bound,
+)
+from .randomization import expected_randomized_distance_jensen
+from .standardize import standardize_matrix
+
+__all__ = ["IMGRNAnswer", "IMGRNResult", "IMGRNEngine"]
+
+
+@dataclass(frozen=True)
+class IMGRNAnswer:
+    """One IM-GRN answer: a matrix whose inferred GRN contains ``Q``.
+
+    Attributes
+    ----------
+    source_id:
+        The matching matrix's data-source ID.
+    embedding:
+        The subgraph-isomorphism embedding (identity mapping on gene IDs
+        in the paper's label-preserving setting).
+    probability:
+        Appearance probability ``Pr{G}`` of the matched subgraph (Eq. 3).
+    """
+
+    source_id: int
+    embedding: Embedding
+    probability: float
+
+
+@dataclass
+class IMGRNResult:
+    """Result of one IM-GRN query: the answers plus cost accounting."""
+
+    query_graph: ProbabilisticGraph
+    answers: list[IMGRNAnswer]
+    stats: QueryStats
+
+    def answer_sources(self) -> list[int]:
+        """Sorted source IDs of the matching matrices."""
+        return sorted(a.source_id for a in self.answers)
+
+
+@dataclass
+class _MatrixEntry:
+    """Per-matrix build artifacts the query phase needs."""
+
+    matrix: GeneFeatureMatrix
+    embedded: EmbeddedMatrix
+    standardized: np.ndarray = field(repr=False)
+
+
+class IMGRNEngine:
+    """The indexed IM-GRN query engine of Section 5."""
+
+    def __init__(
+        self,
+        database: GeneFeatureDatabase,
+        config: EngineConfig | None = None,
+    ):
+        database.require_non_empty()
+        self.database = database
+        self.config = config or EngineConfig()
+        self.pages = PageManager()
+        self.tree: RStarTree | None = None
+        self.inverted_file: InvertedBitVectorFile | None = None
+        self.build_seconds: float = 0.0
+        self._entries: dict[int, _MatrixEntry] = {}
+        self._estimator = EdgeProbabilityEstimator(
+            n_samples=self.config.mc_samples,
+            epsilon=self.config.epsilon,
+            delta=self.config.delta,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    @property
+    def is_built(self) -> bool:
+        return self.tree is not None
+
+    def build(self, pivot_strategy: str = "cost_model", bulk: bool = False) -> float:
+        """Embed every matrix, build the R*-tree and inverted file.
+
+        ``bulk=True`` packs the tree with Sort-Tile-Recursive loading
+        instead of one-at-a-time R* insertion -- much faster to build,
+        slightly worse node quality at query time (see
+        ``bench_ablation_bulkload``).
+
+        Returns the wall-clock build time in seconds (what Fig. 13 plots).
+        """
+        from ..index.node import LeafEntry
+
+        config = self.config
+        dim = 2 * config.num_pivots + 1
+        started = time.perf_counter()
+        self.pages = PageManager()
+        self.pages.pause()  # build I/O is not part of the query metric
+        tree = RStarTree(
+            dim=dim,
+            max_entries=config.rstar_max_entries,
+            pages=self.pages,
+            bitvector_bits=config.bitvector_bits,
+        )
+        inverted = InvertedBitVectorFile(config.bitvector_bits)
+        self._entries = {}
+        pending: list[LeafEntry] = []
+        for matrix in self.database:
+            rng = np.random.default_rng((config.seed, matrix.source_id))
+            embedded = self._embed_with_padding(matrix, pivot_strategy, rng)
+            standardized = standardize_matrix(matrix.values)
+            self._entries[matrix.source_id] = _MatrixEntry(
+                matrix=matrix, embedded=embedded, standardized=standardized
+            )
+            points = embedded.points()
+            for gene_index, gene_id in enumerate(embedded.gene_ids):
+                payload = self._payload_key(matrix.source_id, gene_index)
+                if bulk:
+                    pending.append(
+                        LeafEntry(
+                            points[gene_index], gene_id, matrix.source_id, payload
+                        )
+                    )
+                else:
+                    tree.insert(
+                        points[gene_index], gene_id, matrix.source_id, payload
+                    )
+                inverted.add(gene_id, matrix.source_id)
+        if bulk:
+            # Tile the gene-ID dimension first: it is the traversal's most
+            # discriminative axis (exact anchor/neighbor range checks).
+            gene_first = [dim - 1] + list(range(dim - 1))
+            tree.bulk_load(pending, axis_order=gene_first)
+        tree.finalize()
+        self.pages.resume()
+        self.tree = tree
+        self.inverted_file = inverted
+        self.build_seconds = time.perf_counter() - started
+        return self.build_seconds
+
+    def _embed_with_padding(
+        self,
+        matrix: GeneFeatureMatrix,
+        pivot_strategy: str,
+        rng: np.random.Generator,
+    ) -> EmbeddedMatrix:
+        """Embed one matrix, padding pivots when ``n_i < d``.
+
+        All index points must share one dimensionality; a matrix with fewer
+        genes than ``d`` repeats its last pivot, which is sound (a repeated
+        pivot adds a duplicate coordinate and never tightens a bound
+        incorrectly).
+        """
+        config = self.config
+        effective = min(config.num_pivots, matrix.num_genes)
+        embedded = embed_matrix(
+            matrix.values,
+            matrix.gene_ids,
+            matrix.source_id,
+            num_pivots=effective,
+            expectation_mode=config.expectation_mode,
+            expectation_samples=config.expectation_samples,
+            pivot_strategy=pivot_strategy,
+            pivot_global_iter=config.pivot_global_iter,
+            pivot_swap_iter=config.pivot_swap_iter,
+            rng=rng,
+        )
+        if effective == config.num_pivots:
+            return embedded
+        pad = config.num_pivots - effective
+        x = np.hstack([embedded.x, np.repeat(embedded.x[:, -1:], pad, axis=1)])
+        y = np.hstack([embedded.y, np.repeat(embedded.y[:, -1:], pad, axis=1)])
+        pivots = embedded.pivot_indices + (embedded.pivot_indices[-1],) * pad
+        return EmbeddedMatrix(
+            source_id=embedded.source_id,
+            gene_ids=embedded.gene_ids,
+            pivot_indices=pivots,
+            x=x,
+            y=y,
+        )
+
+    @staticmethod
+    def _payload_key(source_id: int, gene_index: int) -> int:
+        """Pack (source, column) into one integer payload."""
+        return source_id * 1_000_000 + gene_index
+
+    # ------------------------------------------------------------------
+    # Query-graph inference (Fig. 4, line 1)
+    # ------------------------------------------------------------------
+    def infer_query_graph(
+        self, query_matrix: GeneFeatureMatrix, gamma: float
+    ) -> ProbabilisticGraph:
+        """Infer ``Q`` from ``M_Q`` with edge-inference pruning first.
+
+        Pairs whose Markov upper bound is already ``<= gamma`` skip the
+        Monte-Carlo estimation entirely (Lemma 3); the rest get exact
+        (sampled) probabilities, and edges with ``p > gamma`` survive.
+        """
+        if not 0.0 <= gamma < 1.0:
+            raise ValidationError(f"gamma must be in [0,1), got {gamma}")
+        std = standardize_matrix(query_matrix.values)
+        ids = query_matrix.gene_ids
+        length = std.shape[0]
+        expected = math.sqrt(2.0 * length)  # Jensen bound, standardized vectors
+        edges: dict[tuple[int, int], float] = {}
+        for s, t in itertools.combinations(range(len(ids)), 2):
+            distance = float(np.linalg.norm(std[:, s] - std[:, t]))
+            bound = markov_edge_upper_bound(distance, expected)
+            if edge_inference_prunable(bound, gamma):
+                continue
+            p = self._estimator.pair_probability(
+                query_matrix.values[:, s], query_matrix.values[:, t]
+            )
+            if p > gamma:
+                edges[(ids[s], ids[t])] = p
+        return ProbabilisticGraph(ids, edges)
+
+    # ------------------------------------------------------------------
+    # Query (Fig. 4)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query_matrix: GeneFeatureMatrix,
+        gamma: float,
+        alpha: float,
+    ) -> IMGRNResult:
+        """Answer one IM-GRN query ``(M_Q, gamma, alpha)`` (Definition 4)."""
+        if self.tree is None or self.inverted_file is None:
+            raise IndexNotBuiltError("call build() before query()")
+        if not 0.0 <= alpha < 1.0:
+            raise ValidationError(f"alpha must be in [0,1), got {alpha}")
+        stats = QueryStats()
+        self.pages.reset()
+        started = time.perf_counter()
+
+        query_graph = self.infer_query_graph(query_matrix, gamma)
+        if query_graph.num_edges == 0:
+            # Degenerate query: every edge-free query is contained (with
+            # empty-product probability 1) in any matrix holding its genes.
+            candidate_sources = self._sources_with_all_genes(query_graph.gene_ids)
+            stats.cpu_seconds = time.perf_counter() - started
+            stats.io_accesses = self.pages.accesses
+            stats.candidates = len(candidate_sources)
+            answers = self._refine(
+                query_graph, candidate_sources, gamma, alpha, stats
+            )
+            stats.answers = len(answers)
+            return IMGRNResult(query_graph, answers, stats)
+
+        anchor = self._pick_anchor(query_graph)
+        neighbor_genes = sorted(query_graph.neighbors(anchor))
+        candidate_pairs = self._traverse(
+            anchor, neighbor_genes, gamma, stats
+        )  # {(source_id, neighbor_gene): edge upper bound}
+
+        surviving_sources = self._graph_existence_filter(
+            candidate_pairs, neighbor_genes, alpha, stats
+        )
+        stats.candidates = sum(
+            1 for (source, _g) in candidate_pairs if source in surviving_sources
+        )
+        stats.cpu_seconds = time.perf_counter() - started
+        stats.io_accesses = self.pages.accesses
+
+        answers = self._refine(query_graph, surviving_sources, gamma, alpha, stats)
+        stats.answers = len(answers)
+        return IMGRNResult(query_graph, answers, stats)
+
+    def query_topk(
+        self,
+        query_matrix: GeneFeatureMatrix,
+        gamma: float,
+        k: int,
+    ) -> IMGRNResult:
+        """Top-k variant: the ``k`` matches with highest ``Pr{G}``.
+
+        Runs the Definition-4 pipeline with ``alpha = 0`` (no probability
+        cut-off) and keeps the ``k`` highest-probability answers -- the
+        natural ranking interface for the biomarker / classification use
+        cases, where the analyst wants "the best supporting evidence"
+        rather than a threshold.
+        """
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        result = self.query(query_matrix, gamma, alpha=0.0)
+        result.answers.sort(key=lambda a: (-a.probability, a.source_id))
+        del result.answers[k:]
+        result.stats.answers = len(result.answers)
+        return result
+
+    def add_matrix(self, matrix: GeneFeatureMatrix) -> None:
+        """Incrementally index one new data source.
+
+        Supports the prototype-system scenario of the paper's conclusion:
+        gene feature data keeps arriving from institutions; the engine
+        embeds the new matrix with its own pivots, inserts its points into
+        the existing R*-tree, updates the inverted file, and recomputes the
+        node signatures -- no full rebuild.
+
+        Raises
+        ------
+        IndexNotBuiltError
+            If :meth:`build` has not run yet.
+        ValidationError
+            If the source ID already exists (via the database).
+        """
+        if self.tree is None or self.inverted_file is None:
+            raise IndexNotBuiltError("call build() before add_matrix()")
+        self.database.add(matrix)
+        rng = np.random.default_rng((self.config.seed, matrix.source_id))
+        embedded = self._embed_with_padding(matrix, "cost_model", rng)
+        self._entries[matrix.source_id] = _MatrixEntry(
+            matrix=matrix,
+            embedded=embedded,
+            standardized=standardize_matrix(matrix.values),
+        )
+        self.pages.pause()
+        self.tree.reopen()
+        points = embedded.points()
+        for gene_index, gene_id in enumerate(embedded.gene_ids):
+            payload = self._payload_key(matrix.source_id, gene_index)
+            self.tree.insert(points[gene_index], gene_id, matrix.source_id, payload)
+            self.inverted_file.add(gene_id, matrix.source_id)
+        self.tree.finalize()
+        self.pages.resume()
+
+    def remove_matrix(self, source_id: int) -> None:
+        """Remove one data source from the index (tree + inverted file).
+
+        The dual of :meth:`add_matrix` for the prototype-system scenario:
+        a retracted study or revoked data-sharing agreement takes its
+        matrix out of the searchable index without a rebuild. The
+        database object keeps the matrix (other references may hold it);
+        only the index forgets it.
+
+        Raises
+        ------
+        IndexNotBuiltError
+            If :meth:`build` has not run yet.
+        UnknownGeneError
+            If the source is not indexed.
+        """
+        if self.tree is None or self.inverted_file is None:
+            raise IndexNotBuiltError("call build() before remove_matrix()")
+        try:
+            entry = self._entries.pop(source_id)
+        except KeyError:
+            raise UnknownGeneError(f"source {source_id} is not indexed") from None
+        self.pages.pause()
+        for gene_index in range(entry.matrix.num_genes):
+            payload = self._payload_key(source_id, gene_index)
+            removed = self.tree.delete(payload)
+            if not removed:
+                raise InternalError(
+                    f"index entry for source {source_id} gene {gene_index} "
+                    "was missing during removal"
+                )
+        self.inverted_file.remove_source(source_id, entry.matrix.gene_ids)
+        self.pages.resume()
+
+    def _pick_anchor(self, query_graph: ProbabilisticGraph) -> int:
+        """Anchor gene for the traversal (Fig. 4 line 2, or an ablation).
+
+        Only genes with at least one query edge qualify: the traversal
+        enumerates anchor-incident edge candidates.
+        """
+        strategy = self.config.anchor_strategy
+        if strategy == "highest_degree":
+            return query_graph.highest_degree_gene()
+        connected = sorted(
+            g for g in query_graph.gene_ids if query_graph.degree(g) > 0
+        )
+        if strategy == "first":
+            return connected[0]
+        rng = np.random.default_rng((self.config.seed, len(connected)))
+        return connected[int(rng.integers(len(connected)))]
+
+    # ------------------------------------------------------------------
+    # Index traversal (Fig. 4, lines 7-27)
+    # ------------------------------------------------------------------
+    def _traverse(
+        self,
+        anchor: int,
+        neighbor_genes: list[int],
+        gamma: float,
+        stats: QueryStats,
+    ) -> dict[tuple[int, int], float]:
+        assert self.tree is not None and self.inverted_file is not None
+        config = self.config
+        bits = config.bitvector_bits
+        d = config.num_pivots
+
+        qvf_anchor = signature(anchor, bits)
+        qvf_neighbors = 0
+        qvd_anchor = self.inverted_file.sources_signature(anchor)
+        qvd_neighbors = 0
+        neighbor_set = set(neighbor_genes)
+        for gene in neighbor_genes:
+            qvf_neighbors |= signature(gene, bits)
+            qvd_neighbors |= self.inverted_file.sources_signature(gene)
+        if qvd_anchor == 0 or qvd_neighbors == 0:
+            return {}
+
+        candidates: dict[tuple[int, int], float] = {}
+        queue: list[tuple[int, int, Node, Node]] = []
+        tie = itertools.count()
+        gene_dim = 2 * d  # the (2d+1)-th index coordinate is the gene ID
+        sorted_neighbors = neighbor_genes  # already sorted by caller
+
+        def gene_range_matches(node_s: Node, node_t: Node) -> bool:
+            """Exact filter on the gene-ID coordinate of the MBRs.
+
+            The gene ID is a real index dimension (Section 5.1 includes it
+            exactly so that equal genes cluster), so range checks against
+            the anchor / neighbor gene IDs are sound and collision-free.
+            """
+            if not node_s.mbr.low[gene_dim] <= anchor <= node_s.mbr.high[gene_dim]:
+                return False
+            low_t = node_t.mbr.low[gene_dim]
+            high_t = node_t.mbr.high[gene_dim]
+            idx = bisect.bisect_left(sorted_neighbors, low_t)
+            return idx < len(sorted_neighbors) and sorted_neighbors[idx] <= high_t
+
+        def consider_pair(node_s: Node, node_t: Node, level: int) -> None:
+            """Filter one node pair; push survivors (Fig. 4, lines 11-13/25-26)."""
+            if node_s.mbr is None or node_t.mbr is None:
+                return
+            if not gene_range_matches(node_s, node_t):
+                stats.pruned_pairs += 1
+                return
+            if not signatures_overlap(qvf_anchor, node_s.vf):
+                stats.pruned_pairs += 1
+                return
+            if not signatures_overlap(qvf_neighbors, node_t.vf):
+                stats.pruned_pairs += 1
+                return
+            if (qvd_anchor & node_s.vd & qvd_neighbors & node_t.vd) == 0:
+                stats.pruned_pairs += 1
+                return
+            if index_pair_prunable(
+                node_s.x_max(d), node_t.x_min(d), node_t.y_max(d), gamma
+            ):
+                stats.pruned_pairs += 1
+                return
+            heapq.heappush(queue, (level, next(tie), node_s, node_t))
+
+        root = self.tree.root
+        self.pages.access(root.page_id)
+        if root.is_leaf:
+            self._scan_leaf_pair(
+                root, root, anchor, neighbor_set, gamma, candidates, stats
+            )
+            return candidates
+        for node_a in root.entries:
+            for node_b in root.entries:
+                consider_pair(node_a, node_b, root.level - 1)
+
+        while queue:
+            level, _tie, node_s, node_t = heapq.heappop(queue)
+            self.pages.access(node_s.page_id)
+            if node_t is not node_s:
+                self.pages.access(node_t.page_id)
+            if level == 0:
+                self._scan_leaf_pair(
+                    node_s, node_t, anchor, neighbor_set, gamma, candidates, stats
+                )
+                continue
+            for child_s in node_s.entries:
+                for child_t in node_t.entries:
+                    consider_pair(child_s, child_t, level - 1)
+        return candidates
+
+    def _scan_leaf_pair(
+        self,
+        leaf_s: Node,
+        leaf_t: Node,
+        anchor: int,
+        neighbor_set: set[int],
+        gamma: float,
+        candidates: dict[tuple[int, int], float],
+        stats: QueryStats,
+    ) -> None:
+        """Fig. 4, lines 16-21: pairwise point checks inside a leaf pair."""
+        anchors = [e for e in leaf_s.entries if e.gene_id == anchor]
+        if not anchors:
+            return
+        for entry_t in leaf_t.entries:
+            if entry_t.gene_id not in neighbor_set:
+                continue
+            for entry_s in anchors:
+                if entry_s.source_id != entry_t.source_id:
+                    continue
+                key = (entry_t.source_id, entry_t.gene_id)
+                bound = self._leaf_pair_bound(entry_s, entry_t)
+                if edge_inference_prunable(bound, gamma):
+                    stats.pruned_pairs += 1
+                    continue
+                previous = candidates.get(key)
+                if previous is None or bound < previous:
+                    candidates[key] = bound
+
+    def _leaf_pair_bound(self, entry_s, entry_t) -> float:
+        """Tightest sound upper bound for one candidate gene pair.
+
+        Combines the pivot bound (embedded coordinates only, Section 4.2)
+        with the Markov bound on the true distance (Lemma 4); both are
+        sound, so their minimum is.
+        """
+        d = self.config.num_pivots
+        xs = entry_s.point[0 : 2 * d : 2]
+        xt = entry_t.point[0 : 2 * d : 2]
+        yt = entry_t.point[1 : 2 * d : 2]
+        bound = pivot_edge_upper_bound(xs, xt, yt)
+        matrix_entry = self._entries[entry_s.source_id]
+        col_s = matrix_entry.matrix.column_index(entry_s.gene_id)
+        col_t = matrix_entry.matrix.column_index(entry_t.gene_id)
+        std = matrix_entry.standardized
+        distance = float(np.linalg.norm(std[:, col_s] - std[:, col_t]))
+        expected = expected_randomized_distance_jensen(std[:, col_t], std[:, col_s])
+        return min(bound, markov_edge_upper_bound(distance, expected))
+
+    # ------------------------------------------------------------------
+    # Graph existence pruning (Lemma 5) + refinement (Fig. 4, lines 28-30)
+    # ------------------------------------------------------------------
+    def _graph_existence_filter(
+        self,
+        candidate_pairs: dict[tuple[int, int], float],
+        neighbor_genes: list[int],
+        alpha: float,
+        stats: QueryStats,
+    ) -> list[int]:
+        by_source: dict[int, dict[int, float]] = {}
+        for (source, gene), bound in candidate_pairs.items():
+            by_source.setdefault(source, {})[gene] = bound
+        survivors: list[int] = []
+        needed = set(neighbor_genes)
+        for source, bounds in sorted(by_source.items()):
+            if set(bounds) != needed:
+                stats.pruned_pairs += 1
+                continue  # some anchor edge has no surviving match
+            upper = graph_existence_upper_bound(bounds.values())
+            if graph_existence_prunable(upper, alpha):
+                stats.pruned_pairs += 1
+                continue
+            survivors.append(source)
+        return survivors
+
+    def _sources_with_all_genes(self, gene_ids: tuple[int, ...]) -> list[int]:
+        """Indexed sources containing every query gene.
+
+        Consults the inverted file's exact sets (not the database) so
+        sources dropped via :meth:`remove_matrix` stay invisible.
+        """
+        assert self.inverted_file is not None
+        sources: set[int] | None = None
+        for gene in gene_ids:
+            if gene not in self.inverted_file:
+                return []
+            holders = self.inverted_file.sources_of(gene)
+            sources = set(holders) if sources is None else sources & holders
+            if not sources:
+                return []
+        return sorted(sources or ())
+
+    def _refine(
+        self,
+        query_graph: ProbabilisticGraph,
+        candidate_sources: list[int],
+        gamma: float,
+        alpha: float,
+        stats: QueryStats,
+    ) -> list[IMGRNAnswer]:
+        """Exact verification of Definition 4 on the surviving matrices."""
+        started = time.perf_counter()
+        answers: list[IMGRNAnswer] = []
+        query_edges = [key for key, _p in query_graph.edges()]
+        for source in candidate_sources:
+            matrix = self.database.get(source)
+            if any(gene not in matrix for gene in query_graph.gene_ids):
+                continue
+            probability = 1.0
+            matched = True
+            for u, v in query_edges:
+                p = self._estimator.pair_probability(
+                    matrix.column(u), matrix.column(v)
+                )
+                if p <= gamma:  # the edge does not exist in G_i
+                    matched = False
+                    break
+                probability *= p
+                if probability <= alpha:
+                    matched = False
+                    break
+            if not matched:
+                continue
+            mapping = tuple((g, g) for g in sorted(query_graph.gene_ids))
+            answers.append(
+                IMGRNAnswer(source, Embedding(mapping, probability), probability)
+            )
+        stats.refine_seconds = time.perf_counter() - started
+        return answers

@@ -1,0 +1,127 @@
+"""Vector standardization (z-scoring) used throughout the IM-GRN pipeline.
+
+Lemma 1 of the paper (and its proof in Appendix B) relies on the identity
+
+    dist(X, Y)^2 = 2 * l * (1 - cor(X, Y))
+
+which holds exactly when both length-``l`` vectors are *standardized*: zero
+mean and unit (population) variance, i.e. ``sum(X) == 0`` and
+``sum(X**2) == l``. Every distance/probability computation in this library
+therefore operates on standardized vectors, produced here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DegenerateVectorError, DimensionMismatchError
+
+__all__ = [
+    "standardize_vector",
+    "standardize_matrix",
+    "is_standardized",
+    "validate_same_length",
+]
+
+#: Absolute tolerance used by :func:`is_standardized`.
+_ATOL = 1e-8
+
+
+def standardize_vector(x: np.ndarray) -> np.ndarray:
+    """Return a zero-mean, unit-variance copy of ``x`` as float64.
+
+    Parameters
+    ----------
+    x:
+        One-dimensional array of at least 2 samples.
+
+    Raises
+    ------
+    DimensionMismatchError
+        If ``x`` is not one-dimensional or has fewer than 2 entries.
+    DegenerateVectorError
+        If ``x`` is constant (zero variance); the Pearson correlation and
+        the paper's probabilistic measure are undefined for such vectors.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DimensionMismatchError(
+            f"expected a 1-D vector, got shape {arr.shape}"
+        )
+    if arr.size < 2:
+        raise DimensionMismatchError(
+            f"need at least 2 samples to standardize, got {arr.size}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise DegenerateVectorError("vector contains non-finite values")
+    centered = arr - arr.mean()
+    scale = np.sqrt(np.mean(centered * centered))
+    if scale <= 0.0 or not np.isfinite(scale):
+        raise DegenerateVectorError(
+            "constant vector has zero variance; cannot standardize"
+        )
+    return centered / scale
+
+
+def standardize_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Standardize every column of an ``l x n`` matrix independently.
+
+    Columns are gene feature vectors (the paper's convention); each column
+    of the result has zero mean and unit population variance.
+
+    Raises
+    ------
+    DegenerateVectorError
+        If any column is constant. Callers that want to *drop* such genes
+        instead should use :meth:`repro.data.matrix.GeneFeatureMatrix`'s
+        cleaning helpers.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DimensionMismatchError(
+            f"expected a 2-D matrix, got shape {arr.shape}"
+        )
+    if arr.shape[0] < 2:
+        raise DimensionMismatchError(
+            f"need at least 2 sample rows, got {arr.shape[0]}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise DegenerateVectorError("matrix contains non-finite values")
+    centered = arr - arr.mean(axis=0, keepdims=True)
+    scale = np.sqrt(np.mean(centered * centered, axis=0, keepdims=True))
+    bad = ~(scale > 0.0)
+    if np.any(bad):
+        cols = np.flatnonzero(bad[0]).tolist()
+        raise DegenerateVectorError(
+            f"constant columns (zero variance) at indices {cols}"
+        )
+    return centered / scale
+
+
+def is_standardized(x: np.ndarray, atol: float = _ATOL) -> bool:
+    """True if ``x`` has (numerically) zero mean and unit variance."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 1 or arr.size < 2:
+        return False
+    if abs(float(arr.mean())) > atol:
+        return False
+    return abs(float(np.mean(arr * arr)) - 1.0) <= atol * arr.size
+
+
+def validate_same_length(x: np.ndarray, y: np.ndarray) -> int:
+    """Return the shared length of two 1-D vectors, or raise.
+
+    Raises
+    ------
+    DimensionMismatchError
+        If the vectors are not 1-D or differ in length.
+    """
+    if x.ndim != 1 or y.ndim != 1:
+        raise DimensionMismatchError(
+            f"expected 1-D vectors, got shapes {x.shape} and {y.shape}"
+        )
+    if x.shape[0] != y.shape[0]:
+        raise DimensionMismatchError(
+            f"vector lengths differ: {x.shape[0]} vs {y.shape[0]}"
+        )
+    return int(x.shape[0])

@@ -1,0 +1,22 @@
+"""Data substrate: matrices, databases, generators, noise, query workloads."""
+
+from .database import GeneFeatureDatabase
+from .matrix import GeneFeatureMatrix
+from .noise import add_noise, add_noise_to_database
+from .organisms import ORGANISMS, OrganismSpec, generate_organism_matrix
+from .queries import extract_query, generate_query_workload
+from .synthetic import generate_database, generate_matrix
+
+__all__ = [
+    "GeneFeatureDatabase",
+    "GeneFeatureMatrix",
+    "add_noise",
+    "add_noise_to_database",
+    "ORGANISMS",
+    "OrganismSpec",
+    "generate_organism_matrix",
+    "extract_query",
+    "generate_query_workload",
+    "generate_database",
+    "generate_matrix",
+]

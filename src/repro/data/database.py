@@ -1,0 +1,118 @@
+"""Gene feature database: the collection of data-source matrices (Def. 1)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..errors import EmptyDatabaseError, UnknownGeneError, ValidationError
+from .matrix import GeneFeatureMatrix
+
+__all__ = ["GeneFeatureDatabase"]
+
+
+class GeneFeatureDatabase:
+    """An ordered collection of :class:`GeneFeatureMatrix` with unique sources.
+
+    This is the paper's database ``D`` of ``N`` matrices from ``N`` data
+    sources. Matrices may differ in both sample count and gene set.
+    """
+
+    def __init__(self, matrices: Iterable[GeneFeatureMatrix] = ()):
+        self._matrices: list[GeneFeatureMatrix] = []
+        self._by_source: dict[int, GeneFeatureMatrix] = {}
+        self._gene_sources: dict[int, set[int]] = {}
+        for matrix in matrices:
+            self.add(matrix)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, matrix: GeneFeatureMatrix) -> None:
+        """Append one matrix.
+
+        Raises
+        ------
+        ValidationError
+            If the source ID is already present.
+        """
+        if not isinstance(matrix, GeneFeatureMatrix):
+            raise ValidationError(
+                f"expected GeneFeatureMatrix, got {type(matrix).__name__}"
+            )
+        if matrix.source_id in self._by_source:
+            raise ValidationError(
+                f"duplicate source ID {matrix.source_id} in database"
+            )
+        self._matrices.append(matrix)
+        self._by_source[matrix.source_id] = matrix
+        for gene in matrix.gene_ids:
+            self._gene_sources.setdefault(gene, set()).add(matrix.source_id)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._matrices)
+
+    def __iter__(self) -> Iterator[GeneFeatureMatrix]:
+        return iter(self._matrices)
+
+    def __contains__(self, source_id: int) -> bool:
+        return int(source_id) in self._by_source
+
+    def get(self, source_id: int) -> GeneFeatureMatrix:
+        """The matrix of one data source.
+
+        Raises
+        ------
+        UnknownGeneError
+            If no matrix has that source ID.
+        """
+        try:
+            return self._by_source[int(source_id)]
+        except KeyError:
+            raise UnknownGeneError(f"no source {source_id} in database") from None
+
+    @property
+    def source_ids(self) -> tuple[int, ...]:
+        return tuple(m.source_id for m in self._matrices)
+
+    def gene_ids(self) -> frozenset[int]:
+        """The union of gene IDs across all matrices."""
+        return frozenset(self._gene_sources)
+
+    def sources_containing(self, gene_id: int) -> frozenset[int]:
+        """Source IDs whose matrix includes ``gene_id`` (empty when none)."""
+        return frozenset(self._gene_sources.get(int(gene_id), ()))
+
+    def require_non_empty(self) -> None:
+        """Raise :class:`EmptyDatabaseError` when the database has no matrices."""
+        if not self._matrices:
+            raise EmptyDatabaseError("operation requires a non-empty database")
+
+    # ------------------------------------------------------------------
+    # Statistics (reported by the benchmark harness)
+    # ------------------------------------------------------------------
+    def total_genes(self) -> int:
+        """Sum of ``n_i`` over all matrices (number of indexed points)."""
+        return sum(m.num_genes for m in self._matrices)
+
+    def describe(self) -> dict[str, float]:
+        """Summary statistics for reporting."""
+        self.require_non_empty()
+        genes = [m.num_genes for m in self._matrices]
+        samples = [m.num_samples for m in self._matrices]
+        return {
+            "num_matrices": float(len(self._matrices)),
+            "total_gene_vectors": float(sum(genes)),
+            "distinct_genes": float(len(self._gene_sources)),
+            "min_genes": float(min(genes)),
+            "max_genes": float(max(genes)),
+            "mean_genes": sum(genes) / len(genes),
+            "min_samples": float(min(samples)),
+            "max_samples": float(max(samples)),
+            "mean_samples": sum(samples) / len(samples),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GeneFeatureDatabase(N={len(self._matrices)})"

@@ -1,0 +1,178 @@
+"""Loaders for DREAM5-format data files ([22]'s distribution layout).
+
+The paper's real data sets are the DREAM5 network-inference compendia,
+distributed as:
+
+* an **expression file**: tab-separated, a header row of gene names
+  (``G1`` .. ``GN``), one chip/sample per following row;
+* a **gold-standard file**: one edge per line,
+  ``<regulator>\t<target>\t<1|0>`` (only ``1`` rows are edges).
+
+These loaders let a user who has the actual DREAM5 downloads run every
+experiment in this repository on the real data (this offline environment
+uses the organism stand-ins instead -- see DESIGN.md). Gene names are
+mapped to the integer gene IDs the rest of the library uses; the mapping
+is returned so results can be reported with original names.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import UnknownGeneError, ValidationError
+from .matrix import GeneFeatureMatrix
+
+__all__ = [
+    "load_dream_expression",
+    "load_dream_gold_standard",
+    "load_dream_matrix",
+    "save_dream_expression",
+    "save_dream_gold_standard",
+]
+
+
+def load_dream_expression(
+    path: str | Path,
+) -> tuple[np.ndarray, list[str]]:
+    """Read a DREAM expression file: ``(l x n values, gene names)``.
+
+    Raises
+    ------
+    ValidationError
+        On an empty file, ragged rows, or non-numeric values.
+    """
+    path = Path(path)
+    gene_names: list[str] | None = None
+    rows: list[list[float]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n").rstrip("\r")
+            if not line.strip() or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            if gene_names is None:
+                gene_names = [name.strip() for name in fields]
+                if len(set(gene_names)) != len(gene_names):
+                    raise ValidationError(
+                        f"{path}: duplicate gene names in header"
+                    )
+                continue
+            try:
+                rows.append([float(tok) for tok in fields])
+            except ValueError as exc:
+                raise ValidationError(
+                    f"{path}:{line_no}: non-numeric expression value: {exc}"
+                ) from exc
+            if len(rows[-1]) != len(gene_names):
+                raise ValidationError(
+                    f"{path}:{line_no}: row has {len(rows[-1])} values for "
+                    f"{len(gene_names)} genes"
+                )
+    if gene_names is None or not rows:
+        raise ValidationError(f"{path}: no expression data found")
+    return np.asarray(rows, dtype=np.float64), gene_names
+
+
+def load_dream_gold_standard(
+    path: str | Path,
+    gene_names: list[str] | None = None,
+) -> list[tuple[str, str]]:
+    """Read a DREAM gold standard: (regulator, target) name pairs.
+
+    Lines are ``regulator<TAB>target<TAB>flag``; only ``flag == 1`` rows
+    are edges (the files list confirmed non-edges as ``0``). When
+    ``gene_names`` is given, edges touching unknown genes raise.
+    """
+    path = Path(path)
+    known = set(gene_names) if gene_names is not None else None
+    edges: list[tuple[str, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split("\t")
+            if len(fields) not in (2, 3):
+                raise ValidationError(
+                    f"{path}:{line_no}: expected 2-3 tab-separated fields, "
+                    f"got {len(fields)}"
+                )
+            regulator, target = fields[0].strip(), fields[1].strip()
+            flag = fields[2].strip() if len(fields) == 3 else "1"
+            if flag not in ("0", "1"):
+                raise ValidationError(
+                    f"{path}:{line_no}: edge flag must be 0 or 1, got {flag!r}"
+                )
+            if flag == "0":
+                continue
+            if regulator == target:
+                raise ValidationError(
+                    f"{path}:{line_no}: self-regulation edge {regulator}"
+                )
+            if known is not None and (
+                regulator not in known or target not in known
+            ):
+                raise UnknownGeneError(
+                    f"{path}:{line_no}: edge {regulator}-{target} references "
+                    "a gene absent from the expression header"
+                )
+            edges.append((regulator, target))
+    return edges
+
+
+def load_dream_matrix(
+    expression_path: str | Path,
+    gold_standard_path: str | Path | None = None,
+    source_id: int = 0,
+) -> tuple[GeneFeatureMatrix, dict[str, int]]:
+    """Build a :class:`GeneFeatureMatrix` from DREAM files.
+
+    Returns the matrix plus the ``gene name -> integer ID`` mapping
+    (IDs are assigned in header order). Constant/degenerate probes are
+    dropped via :meth:`GeneFeatureMatrix.clean`, exactly as a real
+    pipeline must.
+    """
+    values, gene_names = load_dream_expression(expression_path)
+    name_to_id = {name: index for index, name in enumerate(gene_names)}
+    truth: list[tuple[int, int]] = []
+    if gold_standard_path is not None:
+        pairs = load_dream_gold_standard(gold_standard_path, gene_names)
+        seen: set[tuple[int, int]] = set()
+        for regulator, target in pairs:
+            key = tuple(sorted((name_to_id[regulator], name_to_id[target])))
+            if key not in seen:
+                seen.add(key)
+                truth.append(key)  # type: ignore[arg-type]
+    matrix = GeneFeatureMatrix.clean(
+        values, [name_to_id[name] for name in gene_names], source_id, truth
+    )
+    kept = set(matrix.gene_ids)
+    mapping = {name: gid for name, gid in name_to_id.items() if gid in kept}
+    return matrix, mapping
+
+
+def save_dream_expression(
+    values: np.ndarray, gene_names: list[str], path: str | Path
+) -> None:
+    """Write an expression file in the DREAM layout (for fixtures/tests)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2 or values.shape[1] != len(gene_names):
+        raise ValidationError(
+            f"values shape {values.shape} does not match "
+            f"{len(gene_names)} gene names"
+        )
+    with Path(path).open("w", encoding="utf-8") as handle:
+        handle.write("\t".join(gene_names) + "\n")
+        for row in values:
+            handle.write("\t".join(f"{v:.6g}" for v in row) + "\n")
+
+
+def save_dream_gold_standard(
+    edges: list[tuple[str, str]], path: str | Path
+) -> None:
+    """Write a gold-standard file in the DREAM layout."""
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for regulator, target in edges:
+            handle.write(f"{regulator}\t{target}\t1\n")

@@ -1,0 +1,131 @@
+"""Persistence for gene feature matrices and databases.
+
+Two formats:
+
+* **TSV** -- the interchange format of public expression compendia: a header
+  row of gene IDs, one sample per line, with an optional ``# truth:`` edge
+  list in comment lines. Human-readable, one file per matrix.
+* **NPZ** -- a single compressed archive for a whole database (fast
+  round-trips for the benchmark harness).
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ValidationError
+from .database import GeneFeatureDatabase
+from .matrix import GeneFeatureMatrix
+
+__all__ = [
+    "save_matrix_tsv",
+    "load_matrix_tsv",
+    "save_database_npz",
+    "load_database_npz",
+]
+
+
+def save_matrix_tsv(matrix: GeneFeatureMatrix, path: str | Path) -> None:
+    """Write one matrix as TSV with ``# source:`` / ``# truth:`` headers."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# source: {matrix.source_id}\n")
+        if matrix.truth_edges:
+            edges = " ".join(f"{u}-{v}" for u, v in sorted(matrix.truth_edges))
+            handle.write(f"# truth: {edges}\n")
+        handle.write("\t".join(str(g) for g in matrix.gene_ids) + "\n")
+        for row in matrix.values:
+            handle.write("\t".join(f"{v:.10g}" for v in row) + "\n")
+
+
+def load_matrix_tsv(path: str | Path) -> GeneFeatureMatrix:
+    """Read a matrix written by :func:`save_matrix_tsv`.
+
+    Raises
+    ------
+    ValidationError
+        On malformed headers or ragged rows.
+    """
+    path = Path(path)
+    source_id = 0
+    truth: list[tuple[int, int]] = []
+    header: list[int] | None = None
+    rows: list[list[float]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("source:"):
+                    source_id = int(body.split(":", 1)[1].strip())
+                elif body.startswith("truth:"):
+                    for token in body.split(":", 1)[1].split():
+                        u_str, _, v_str = token.partition("-")
+                        truth.append((int(u_str), int(v_str)))
+                continue
+            if header is None:
+                try:
+                    header = [int(tok) for tok in line.split("\t")]
+                except ValueError as exc:
+                    raise ValidationError(
+                        f"{path}:{line_no}: bad gene-ID header: {exc}"
+                    ) from exc
+                continue
+            try:
+                row = [float(tok) for tok in line.split("\t")]
+            except ValueError as exc:
+                raise ValidationError(
+                    f"{path}:{line_no}: bad value row: {exc}"
+                ) from exc
+            if len(row) != len(header):
+                raise ValidationError(
+                    f"{path}:{line_no}: row has {len(row)} values, "
+                    f"header has {len(header)}"
+                )
+            rows.append(row)
+    if header is None or not rows:
+        raise ValidationError(f"{path}: no data rows found")
+    return GeneFeatureMatrix(np.asarray(rows), header, source_id, truth)
+
+
+def save_database_npz(database: GeneFeatureDatabase, path: str | Path) -> None:
+    """Write a whole database to one compressed ``.npz`` archive."""
+    database.require_non_empty()
+    payload: dict[str, np.ndarray] = {
+        "source_ids": np.asarray(database.source_ids, dtype=np.int64)
+    }
+    for matrix in database:
+        sid = matrix.source_id
+        payload[f"values_{sid}"] = matrix.values
+        payload[f"genes_{sid}"] = np.asarray(matrix.gene_ids, dtype=np.int64)
+        truth = sorted(matrix.truth_edges)
+        payload[f"truth_{sid}"] = (
+            np.asarray(truth, dtype=np.int64).reshape(-1, 2)
+            if truth
+            else np.empty((0, 2), dtype=np.int64)
+        )
+    with _io.BytesIO() as buffer:
+        np.savez_compressed(buffer, **payload)
+        Path(path).write_bytes(buffer.getvalue())
+
+
+def load_database_npz(path: str | Path) -> GeneFeatureDatabase:
+    """Read a database written by :func:`save_database_npz`."""
+    with np.load(Path(path)) as archive:
+        try:
+            source_ids = archive["source_ids"].tolist()
+        except KeyError as exc:
+            raise ValidationError(f"{path}: not a repro database archive") from exc
+        database = GeneFeatureDatabase()
+        for sid in source_ids:
+            values = archive[f"values_{sid}"]
+            genes = archive[f"genes_{sid}"].tolist()
+            truth_array = archive[f"truth_{sid}"]
+            truth = [(int(u), int(v)) for u, v in truth_array]
+            database.add(GeneFeatureMatrix(values, genes, int(sid), truth))
+    return database

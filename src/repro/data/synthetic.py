@@ -1,0 +1,170 @@
+"""Synthetic gene-feature generator (Section 6.1's linear model).
+
+Each matrix is produced exactly as the paper describes:
+
+1. ``B_i`` is an ``n x n`` adjacency matrix; each off-diagonal element is
+   made non-zero with probability ``n * deg(G) / (n * (n-1)) = deg/(n-1)``
+   where ``deg(G)`` is the average (expected) in-degree (default 1).
+2. Non-zero weights follow either a Uniform mixture over
+   ``[-1, -0.5] u [0.5, 1]`` (``Uni``) or the folded-Gaussian variant of
+   ``N(1, 0.01)`` (``Gau``): draw ``e' ~ N(1, 0.01)`` and set
+   ``e = e'`` if ``e' <= 1`` else ``e = e' - 2``.
+3. ``E_i`` is ``l x n`` Gaussian noise ``N(0, 0.01)``.
+4. ``M_i = E_i (I - B_i)^{-1}``.
+
+The ground-truth regulatory edges are the (undirected) non-zero positions
+of ``B_i``, kept on the matrix for ROC experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SyntheticConfig
+from ..core.randomization import default_rng
+from ..errors import InternalError, ValidationError
+from .database import GeneFeatureDatabase
+from .matrix import GeneFeatureMatrix
+
+__all__ = [
+    "generate_structure",
+    "generate_weights",
+    "generate_expression",
+    "generate_matrix",
+    "generate_database",
+]
+
+#: Reject (I - B) systems whose condition number exceeds this.
+_MAX_CONDITION = 1e8
+
+
+def generate_structure(
+    num_genes: int,
+    avg_in_degree: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Boolean ``n x n`` adjacency (directed, no self-loops) per Section 6.1.
+
+    Each off-diagonal element is set with probability ``deg / (n - 1)``.
+    """
+    if num_genes < 2:
+        raise ValidationError(f"num_genes must be >= 2, got {num_genes}")
+    if avg_in_degree <= 0:
+        raise ValidationError(f"avg_in_degree must be > 0, got {avg_in_degree}")
+    prob = min(1.0, avg_in_degree / (num_genes - 1))
+    gen = default_rng(rng)
+    mask = gen.random((num_genes, num_genes)) < prob
+    np.fill_diagonal(mask, False)
+    return mask
+
+
+def generate_weights(
+    mask: np.ndarray,
+    weights: str,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Fill the adjacency mask with Uni or Gau non-zero weights (see module doc)."""
+    if weights not in ("uni", "gau"):
+        raise ValidationError(f"weights must be 'uni' or 'gau', got {weights!r}")
+    gen = default_rng(rng)
+    count = int(np.count_nonzero(mask))
+    if weights == "uni":
+        # Uniform over [-1, -0.5] u [0.5, 1]: magnitude U[0.5, 1], random sign.
+        magnitude = gen.uniform(0.5, 1.0, size=count)
+        sign = np.where(gen.random(count) < 0.5, -1.0, 1.0)
+        values = magnitude * sign
+    else:
+        # Folded N(1, 0.01): e = e' if e' <= 1 else e' - 2.
+        drawn = gen.normal(1.0, 0.1, size=count)
+        values = np.where(drawn <= 1.0, drawn, drawn - 2.0)
+    b = np.zeros(mask.shape, dtype=np.float64)
+    b[mask] = values
+    return b
+
+
+def generate_expression(
+    b: np.ndarray,
+    num_samples: int,
+    noise_variance: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """``M = E (I - B)^{-1}`` with ``E ~ N(0, noise_variance)``.
+
+    Raises
+    ------
+    InternalError
+        If ``(I - B)`` is numerically singular (callers regenerate the
+        structure instead of shipping an unstable system).
+    """
+    if num_samples < 3:
+        raise ValidationError(f"num_samples must be >= 3, got {num_samples}")
+    if noise_variance <= 0:
+        raise ValidationError(f"noise_variance must be > 0, got {noise_variance}")
+    n = b.shape[0]
+    if b.shape != (n, n):
+        raise ValidationError(f"B must be square, got {b.shape}")
+    system = np.eye(n) - b
+    condition = np.linalg.cond(system)
+    if not np.isfinite(condition) or condition > _MAX_CONDITION:
+        raise InternalError(
+            f"(I - B) is ill-conditioned (cond={condition:.3g}); regenerate"
+        )
+    gen = default_rng(rng)
+    noise = gen.normal(0.0, np.sqrt(noise_variance), size=(num_samples, n))
+    return np.linalg.solve(system.T, noise.T).T
+
+
+def generate_matrix(
+    config: SyntheticConfig,
+    source_id: int,
+    rng: np.random.Generator | int | None = None,
+    max_retries: int = 20,
+) -> GeneFeatureMatrix:
+    """One synthetic :class:`GeneFeatureMatrix` with ground-truth edges.
+
+    Gene IDs are a random subset of ``[0, config.gene_pool)``, so matrices
+    from different sources share genes -- a prerequisite for cross-source
+    matching.
+    """
+    gen = default_rng(rng)
+    last_error: Exception | None = None
+    for _attempt in range(max_retries):
+        n = int(gen.integers(config.genes_range[0], config.genes_range[1] + 1))
+        samples = int(
+            gen.integers(config.samples_range[0], config.samples_range[1] + 1)
+        )
+        gene_ids = sorted(
+            int(g) for g in gen.choice(config.gene_pool, size=n, replace=False)
+        )
+        mask = generate_structure(n, config.avg_in_degree, gen)
+        b = generate_weights(mask, config.weights, gen)
+        try:
+            values = generate_expression(b, samples, config.noise_variance, gen)
+            undirected = mask | mask.T
+            rows, cols = np.nonzero(np.triu(undirected, k=1))
+            truth = [(gene_ids[r], gene_ids[c]) for r, c in zip(rows, cols)]
+            return GeneFeatureMatrix(values, gene_ids, source_id, truth)
+        except (InternalError, ValidationError) as exc:  # regenerate
+            last_error = exc
+    raise InternalError(
+        f"failed to generate a stable matrix after {max_retries} tries: "
+        f"{last_error}"
+    )
+
+
+def generate_database(
+    config: SyntheticConfig,
+    n_matrices: int,
+) -> GeneFeatureDatabase:
+    """A database of ``n_matrices`` synthetic sources (the Uni/Gau data sets).
+
+    Fully deterministic given ``config.seed``: source ``i`` draws from its
+    own child stream, so databases of different sizes share a prefix.
+    """
+    if n_matrices < 1:
+        raise ValidationError(f"n_matrices must be >= 1, got {n_matrices}")
+    database = GeneFeatureDatabase()
+    for source_id in range(n_matrices):
+        rng = np.random.default_rng((config.seed, source_id))
+        database.add(generate_matrix(config, source_id, rng))
+    return database

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the IM-GRN reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch one base class. Sub-classes distinguish bad user input
+(:class:`ValidationError` and friends) from internal invariant violations
+(:class:`InternalError`), which always indicate a bug in this library.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "DimensionMismatchError",
+    "DegenerateVectorError",
+    "EmptyDatabaseError",
+    "UnknownGeneError",
+    "IndexNotBuiltError",
+    "InternalError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A caller-supplied argument is out of its documented domain."""
+
+
+class DimensionMismatchError(ValidationError):
+    """Two vectors/matrices that must share a dimension do not.
+
+    Raised e.g. when correlating gene feature vectors of different sample
+    counts, or when a pivot's length differs from the matrix row count.
+    """
+
+
+class DegenerateVectorError(ValidationError):
+    """A feature vector is constant (zero variance) and cannot be z-scored.
+
+    The paper's inference measure is undefined for constant expression
+    profiles; the data layer either rejects or drops such genes explicitly
+    rather than silently producing NaNs.
+    """
+
+
+class EmptyDatabaseError(ValidationError):
+    """An operation that needs at least one matrix got an empty database."""
+
+
+class UnknownGeneError(ValidationError, KeyError):
+    """A gene ID was requested that the matrix/database does not contain."""
+
+
+class IndexNotBuiltError(ReproError, RuntimeError):
+    """A query was issued against an engine whose index is not built yet."""
+
+
+class InternalError(ReproError, AssertionError):
+    """An internal invariant was violated; always a bug in this library."""

@@ -1,0 +1,21 @@
+"""Evaluation substrate: ROC curves, cost counters, per-figure experiments.
+
+The experiment drivers live in :mod:`repro.eval.experiments` and are *not*
+re-exported here: they import the query engines, which themselves use the
+cost counters from this package, so an eager re-export would be circular.
+Import them explicitly::
+
+    from repro.eval.experiments import vary_gamma
+"""
+
+from .counters import QueryStats, Stopwatch, aggregate_stats
+from .roc import ROCCurve, ROCPoint, roc_curve_from_scores
+
+__all__ = [
+    "QueryStats",
+    "Stopwatch",
+    "aggregate_stats",
+    "ROCCurve",
+    "ROCPoint",
+    "roc_curve_from_scores",
+]

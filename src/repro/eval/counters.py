@@ -1,0 +1,95 @@
+"""Query-cost accounting: CPU time, I/O (page accesses), candidate counts.
+
+These are exactly the three metrics the paper reports for every efficiency
+figure (6 through 12): wall-clock CPU time of candidate retrieval, number of
+page accesses during query answering, and the number of candidates remaining
+after pruning.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["QueryStats", "Stopwatch", "aggregate_stats"]
+
+
+@dataclass
+class QueryStats:
+    """Cost metrics of one query execution.
+
+    Attributes
+    ----------
+    cpu_seconds:
+        Wall-clock time of retrieving candidates (index traversal +
+        pruning), per the paper's "CPU time" definition.
+    refine_seconds:
+        Additional time spent refining candidates into final answers.
+    io_accesses:
+        Number of page accesses (tree nodes read, plus simulated data
+        pages for the baseline's pre-computed probabilities).
+    candidates:
+        Candidate gene pairs remaining after all pruning.
+    answers:
+        Final IM-GRN answers returned.
+    pruned_pairs:
+        Node/gene pairs discarded by the pruning stack (diagnostics).
+    """
+
+    cpu_seconds: float = 0.0
+    refine_seconds: float = 0.0
+    io_accesses: int = 0
+    candidates: int = 0
+    answers: int = 0
+    pruned_pairs: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cpu_seconds + self.refine_seconds
+
+
+@dataclass
+class Stopwatch:
+    """Minimal perf_counter stopwatch (accumulates across start/stop pairs)."""
+
+    elapsed: float = 0.0
+    _started: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch was not started")
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def aggregate_stats(stats: list[QueryStats]) -> dict[str, float]:
+    """Mean metrics over a query workload (what each figure's point plots)."""
+    if not stats:
+        return {
+            "cpu_seconds": 0.0,
+            "refine_seconds": 0.0,
+            "io_accesses": 0.0,
+            "candidates": 0.0,
+            "answers": 0.0,
+            "pruned_pairs": 0.0,
+        }
+    count = len(stats)
+    return {
+        "cpu_seconds": sum(s.cpu_seconds for s in stats) / count,
+        "refine_seconds": sum(s.refine_seconds for s in stats) / count,
+        "io_accesses": sum(s.io_accesses for s in stats) / count,
+        "candidates": sum(s.candidates for s in stats) / count,
+        "answers": sum(s.answers for s in stats) / count,
+        "pruned_pairs": sum(s.pruned_pairs for s in stats) / count,
+    }

@@ -1,0 +1,94 @@
+"""Paper-style table / series rendering for experiment results."""
+
+from __future__ import annotations
+
+from .experiments import ExperimentResult
+from .roc import ROCCurve
+
+__all__ = [
+    "format_table",
+    "format_roc_summary",
+    "render_roc_ascii",
+    "print_result",
+]
+
+
+def _format_value(value: float | str) -> str:
+    if isinstance(value, str):
+        return value
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    if 0 < abs(value) < 1e-3 or abs(value) >= 1e6:
+        return f"{value:.3e}"
+    return f"{value:.4g}"
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an experiment's rows as an aligned text table."""
+    if not result.rows:
+        return f"== {result.name} ==\n(no rows)"
+    columns = list(result.rows[0].keys())
+    cells = [[_format_value(row[c]) for c in columns] for row in result.rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in cells
+    )
+    return f"== {result.name} ==\n{header}\n{separator}\n{body}"
+
+
+def format_roc_summary(curves: dict[str, ROCCurve]) -> str:
+    """Summarize ROC curves by AUC and low-FPR recall (the figure's gist)."""
+    lines = ["curve                      AUC     TPR@FPR<=0.1"]
+    for key in sorted(curves):
+        curve = curves[key]
+        lines.append(
+            f"{key:<25}  {curve.auc():.4f}  {curve.tpr_at_fpr(0.1):.4f}"
+        )
+    return "\n".join(lines)
+
+
+def render_roc_ascii(
+    curves: dict[str, ROCCurve], width: int = 61, height: int = 21
+) -> str:
+    """Terminal ROC plot: TPR (y) against FPR (x), one glyph per curve.
+
+    Renders the same comparison the paper's ROC figures show, directly in
+    the console (the CLI has no plotting dependency). The diagonal is the
+    random-classifier reference.
+    """
+    glyphs = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    # Random-classifier diagonal.
+    for col in range(width):
+        row = height - 1 - round(col * (height - 1) / (width - 1))
+        grid[row][col] = "."
+    legend = []
+    for index, key in enumerate(sorted(curves)):
+        glyph = glyphs[index % len(glyphs)]
+        curve = curves[key]
+        legend.append(f"  {glyph}  {key}  (AUC {curve.auc():.3f})")
+        for point in curve.points:
+            col = min(width - 1, round(point.fpr * (width - 1)))
+            row = height - 1 - min(height - 1, round(point.tpr * (height - 1)))
+            grid[row][col] = glyph
+    lines = ["TPR"]
+    for row_index, row in enumerate(grid):
+        prefix = "1.0 |" if row_index == 0 else (
+            "0.0 |" if row_index == height - 1 else "    |"
+        )
+        lines.append(prefix + "".join(row))
+    lines.append("    +" + "-" * width)
+    lines.append("     0.0" + " " * (width - 11) + "FPR 1.0")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def print_result(result: ExperimentResult) -> None:
+    """Print an experiment table (convenience for CLI / benches)."""
+    print(format_table(result))

@@ -1,0 +1,126 @@
+"""ROC evaluation of GRN inference accuracy (Section 6.2).
+
+Following the bioinformatics protocol of [22], an inference measure is
+scored against a gold-standard edge set by sweeping the inference threshold
+``gamma`` from 0 to 1 and plotting, at each threshold,
+
+* TPR (recall): correctly inferred edges / gold-standard edges,
+* FPR: incorrectly inferred edges / non-edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.probgraph import EdgeKey, edge_key
+from ..errors import ValidationError
+
+__all__ = ["ROCPoint", "ROCCurve", "roc_curve_from_scores", "default_thresholds"]
+
+
+@dataclass(frozen=True)
+class ROCPoint:
+    """One (threshold, FPR, TPR) point of a ROC sweep."""
+
+    threshold: float
+    fpr: float
+    tpr: float
+
+
+@dataclass(frozen=True)
+class ROCCurve:
+    """A full ROC sweep for one inference measure on one data set."""
+
+    label: str
+    points: tuple[ROCPoint, ...]
+
+    def auc(self) -> float:
+        """Area under the curve (trapezoidal, over the swept range).
+
+        The sweep's extreme points (FPR 0 and 1) are appended so AUC is
+        comparable across measures even if no threshold reaches them.
+        """
+        xs = np.asarray([p.fpr for p in self.points] + [0.0, 1.0])
+        ys = np.asarray([p.tpr for p in self.points] + [0.0, 1.0])
+        order = np.lexsort((ys, xs))  # staircase through operating points
+        return float(np.trapezoid(ys[order], xs[order]))
+
+    def tpr_at_fpr(self, fpr_limit: float) -> float:
+        """Best TPR among points with FPR <= limit (partial-ROC summary)."""
+        eligible = [p.tpr for p in self.points if p.fpr <= fpr_limit]
+        return max(eligible, default=0.0)
+
+
+def default_thresholds(step: float = 0.01) -> np.ndarray:
+    """The paper's sweep: gamma from 0 to 1 with increment ``step``."""
+    if not 0.0 < step <= 0.5:
+        raise ValidationError(f"step must be in (0, 0.5], got {step}")
+    return np.arange(0.0, 1.0 + step / 2, step)
+
+
+def roc_curve_from_scores(
+    scores: np.ndarray,
+    gene_ids: tuple[int, ...] | list[int],
+    truth_edges: frozenset[EdgeKey] | set[EdgeKey],
+    thresholds: np.ndarray | None = None,
+    label: str = "",
+) -> ROCCurve:
+    """ROC sweep of a pairwise score matrix against gold-standard edges.
+
+    Parameters
+    ----------
+    scores:
+        ``n x n`` symmetric matrix of edge scores (probabilities for
+        IM-GRN, |Pearson| for Correlation, |partial correlation| for
+        pCorr). An edge is inferred at threshold ``g`` when score > g.
+    gene_ids:
+        Gene labels of the matrix columns.
+    truth_edges:
+        Gold-standard undirected edges as gene-ID pairs.
+
+    Raises
+    ------
+    ValidationError
+        On shape mismatch or an empty/complete gold standard (either makes
+        TPR or FPR undefined).
+    """
+    ids = tuple(int(g) for g in gene_ids)
+    n = len(ids)
+    if scores.shape != (n, n):
+        raise ValidationError(
+            f"score matrix shape {scores.shape} does not match {n} genes"
+        )
+    total_pairs = n * (n - 1) // 2
+    truth = {edge_key(u, v) for u, v in truth_edges}
+    if not truth:
+        raise ValidationError("gold standard has no edges; TPR undefined")
+    if len(truth) >= total_pairs:
+        raise ValidationError("gold standard is complete; FPR undefined")
+    if thresholds is None:
+        thresholds = default_thresholds()
+
+    iu, ju = np.triu_indices(n, k=1)
+    pair_scores = scores[iu, ju]
+    is_true = np.fromiter(
+        (edge_key(ids[i], ids[j]) in truth for i, j in zip(iu, ju)),
+        dtype=bool,
+        count=iu.size,
+    )
+    num_true = int(is_true.sum())
+    num_false = total_pairs - num_true
+
+    points = []
+    for threshold in thresholds:
+        predicted = pair_scores > threshold
+        tp = int(np.count_nonzero(predicted & is_true))
+        fp = int(np.count_nonzero(predicted & ~is_true))
+        points.append(
+            ROCPoint(
+                threshold=float(threshold),
+                fpr=fp / num_false,
+                tpr=tp / num_true,
+            )
+        )
+    return ROCCurve(label=label, points=tuple(points))

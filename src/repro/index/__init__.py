@@ -1,0 +1,21 @@
+"""Index substrate: MBRs, R*-tree, bit-vector signatures, inverted file."""
+
+from .bitvector import hash_bit, signature, signature_many, signatures_overlap
+from .invertedfile import InvertedBitVectorFile
+from .mbr import MBR
+from .node import LeafEntry, Node
+from .pagemanager import PageManager
+from .rstartree import RStarTree
+
+__all__ = [
+    "MBR",
+    "LeafEntry",
+    "Node",
+    "PageManager",
+    "RStarTree",
+    "InvertedBitVectorFile",
+    "hash_bit",
+    "signature",
+    "signature_many",
+    "signatures_overlap",
+]

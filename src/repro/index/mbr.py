@@ -1,0 +1,150 @@
+"""Minimum bounding rectangles (MBRs) for the R*-tree.
+
+An MBR is an axis-aligned box in the ``2d+1``-dimensional embedded space of
+Section 5.1, stored as ``low``/``high`` corner arrays. All the geometric
+primitives the R*-tree's insertion and split heuristics need (area, margin,
+enlargement, overlap) live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DimensionMismatchError, ValidationError
+
+__all__ = ["MBR"]
+
+
+class MBR:
+    """Axis-aligned minimum bounding rectangle.
+
+    Instances are mutable (the tree grows them in place via :meth:`extend`)
+    but expose copy-returning combinators (:meth:`union`) for the split
+    heuristics.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: np.ndarray, high: np.ndarray):
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        if low.shape != high.shape or low.ndim != 1:
+            raise DimensionMismatchError(
+                f"corner shapes differ: {low.shape} vs {high.shape}"
+            )
+        if np.any(low > high):
+            raise ValidationError("MBR low corner exceeds high corner")
+        self.low = low
+        self.high = high
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: np.ndarray) -> "MBR":
+        """Degenerate MBR covering a single point."""
+        point = np.asarray(point, dtype=np.float64)
+        return cls(point.copy(), point.copy())
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "MBR":
+        """Tight MBR of an ``n x dim`` point array."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValidationError(f"expected non-empty 2-D points, got {points.shape}")
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    @classmethod
+    def union_of(cls, boxes: list["MBR"]) -> "MBR":
+        """Tight MBR enclosing all given boxes."""
+        if not boxes:
+            raise ValidationError("union_of requires at least one MBR")
+        low = boxes[0].low.copy()
+        high = boxes[0].high.copy()
+        for box in boxes[1:]:
+            np.minimum(low, box.low, out=low)
+            np.maximum(high, box.high, out=high)
+        return cls(low, high)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return int(self.low.shape[0])
+
+    def copy(self) -> "MBR":
+        return MBR(self.low.copy(), self.high.copy())
+
+    def area(self) -> float:
+        """Hyper-volume (product of extents)."""
+        return float(np.prod(self.high - self.low))
+
+    def margin(self) -> float:
+        """Sum of extents (the R*-split axis criterion)."""
+        return float(np.sum(self.high - self.low))
+
+    def center(self) -> np.ndarray:
+        return (self.low + self.high) * 0.5
+
+    def union(self, other: "MBR") -> "MBR":
+        """New MBR enclosing both boxes."""
+        return MBR(np.minimum(self.low, other.low), np.maximum(self.high, other.high))
+
+    def extend(self, other: "MBR") -> None:
+        """Grow this box in place to enclose ``other``."""
+        np.minimum(self.low, other.low, out=self.low)
+        np.maximum(self.high, other.high, out=self.high)
+
+    def extend_point(self, point: np.ndarray) -> None:
+        """Grow this box in place to enclose ``point``."""
+        point = np.asarray(point, dtype=np.float64)
+        np.minimum(self.low, point, out=self.low)
+        np.maximum(self.high, point, out=self.high)
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to absorb ``other`` (>= 0)."""
+        return self.union(other).area() - self.area()
+
+    def overlap(self, other: "MBR") -> float:
+        """Area of the intersection (0 when disjoint)."""
+        low = np.maximum(self.low, other.low)
+        high = np.minimum(self.high, other.high)
+        extents = high - low
+        if np.any(extents < 0.0):
+            return 0.0
+        return float(np.prod(extents))
+
+    def intersects(self, other: "MBR") -> bool:
+        return bool(
+            np.all(self.low <= other.high) and np.all(other.low <= self.high)
+        )
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        point = np.asarray(point, dtype=np.float64)
+        return bool(np.all(self.low <= point) and np.all(point <= self.high))
+
+    def contains(self, other: "MBR") -> bool:
+        return bool(np.all(self.low <= other.low) and np.all(other.high <= self.high))
+
+    def center_distance(self, other: "MBR") -> float:
+        """Euclidean distance between box centers (forced-reinsert order)."""
+        delta = self.center() - other.center()
+        return float(np.sqrt(delta @ delta))
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - MBRs are not dict keys
+        return hash((self.low.tobytes(), self.high.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MBR(low={self.low.tolist()}, high={self.high.tolist()})"

@@ -1,0 +1,106 @@
+"""Unit tests for the Appendix-A generalized matching framework."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adhoc import AdHocMatchEngine, FeatureCollection
+from repro.config import EngineConfig
+from repro.errors import IndexNotBuiltError, ValidationError
+
+
+def structured_collection(cid, rng, gain=1.0, offset=0.0, bins=24):
+    """6 items in two tightly-correlated triples (a two-shot 'video')."""
+    shot_a = rng.gamma(2.0, 1.0, size=bins)
+    shot_b = rng.gamma(2.0, 1.0, size=bins)
+    columns = []
+    for shot in (shot_a, shot_a, shot_a, shot_b, shot_b, shot_b):
+        columns.append(0.92 * shot + 0.08 * rng.gamma(2.0, 1.0, size=bins))
+    features = gain * np.column_stack(columns) + offset
+    features += 0.02 * features.std() * rng.normal(size=features.shape)
+    return FeatureCollection(cid, tuple(range(6)), features)
+
+
+def random_collection(cid, rng, bins=24):
+    return FeatureCollection(
+        cid, tuple(range(6)), rng.gamma(2.0, 1.0, size=(bins, 6))
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(17)
+    collections = [structured_collection(0, rng)]
+    # Affine-transformed near-duplicates of collection 0.
+    collections.append(structured_collection(1, rng, gain=3.0, offset=5.0))
+    collections.extend(random_collection(cid, rng) for cid in range(2, 12))
+    engine = AdHocMatchEngine(collections, EngineConfig(mc_samples=64, seed=17))
+    engine.build()
+    return collections, engine
+
+
+class TestFeatureCollection:
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            FeatureCollection(0, (1, 2), np.zeros((4, 3)))
+        with pytest.raises(ValidationError):
+            FeatureCollection(0, (1, 2), np.zeros(4))
+
+    def test_to_matrix_roundtrip(self, rng):
+        collection = random_collection(5, rng)
+        matrix = collection.to_matrix()
+        assert matrix.source_id == 5
+        assert matrix.gene_ids == collection.item_labels
+        np.testing.assert_array_equal(matrix.values, collection.features)
+
+
+class TestEngine:
+    def test_build_stats(self, corpus):
+        _collections, engine = corpus
+        stats = engine.stats()
+        assert stats["collections"] == 12.0
+        assert stats["items"] == 72.0
+        assert stats["build_seconds"] > 0.0
+
+    def test_retrieves_structured_collections(self, corpus):
+        collections, engine = corpus
+        rng = np.random.default_rng(99)
+        # Query: a degraded copy of the first shot triple.
+        query_features = 2.0 * collections[0].features[:, :3] + 1.0
+        query_features += 0.02 * query_features.std() * rng.normal(
+            size=query_features.shape
+        )
+        query = FeatureCollection(100, (0, 1, 2), query_features)
+        result = engine.query(query, gamma=0.9, alpha=0.3)
+        answers = set(result.answer_sources())
+        assert {0, 1} <= answers  # the original and its affine copy
+        assert not answers & set(range(2, 12))  # no random collection
+
+    def test_affine_invariance_of_the_measure(self, corpus):
+        """Collections 0 and 1 differ by a per-corpus affine transform but
+        must produce (nearly) the same inferred similarity graph."""
+        collections, engine = corpus
+        g0 = engine._engine.infer_query_graph(collections[0].to_matrix(), 0.9)
+        g1 = engine._engine.infer_query_graph(collections[1].to_matrix(), 0.9)
+        edges0 = {key for key, _ in g0.edges()}
+        edges1 = {key for key, _ in g1.edges()}
+        # within-shot edges present in both
+        for u, v in ((0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)):
+            assert (u, v) in edges0
+        assert len(edges0 ^ edges1) <= 2  # near-identical structure
+
+    def test_duplicate_collection_ids_rejected(self, rng):
+        a = random_collection(1, rng)
+        b = random_collection(1, rng)
+        with pytest.raises(ValidationError):
+            AdHocMatchEngine([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            AdHocMatchEngine([])
+
+    def test_query_before_build(self, rng):
+        engine = AdHocMatchEngine([random_collection(0, rng)])
+        with pytest.raises(IndexNotBuiltError):
+            engine.query(random_collection(9, rng), 0.5, 0.5)

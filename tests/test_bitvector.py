@@ -1,0 +1,147 @@
+"""Unit tests for bit-vector signatures and the inverted bit-vector file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownGeneError, ValidationError
+from repro.index.bitvector import (
+    hash_bit,
+    popcount,
+    signature,
+    signature_many,
+    signatures_overlap,
+)
+from repro.index.invertedfile import InvertedBitVectorFile
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert hash_bit(42, 64) == hash_bit(42, 64)
+
+    def test_within_range(self):
+        for value in range(200):
+            assert 0 <= hash_bit(value, 64) < 64
+
+    def test_salt_changes_hash(self):
+        hits = sum(
+            hash_bit(v, 1024, salt=0) == hash_bit(v, 1024, salt=1)
+            for v in range(200)
+        )
+        assert hits < 10  # ~200/1024 expected collisions
+
+    def test_spread(self):
+        """The mix should hit most buckets for sequential IDs."""
+        buckets = {hash_bit(v, 64) for v in range(640)}
+        assert len(buckets) >= 60
+
+    def test_bits_domain(self):
+        with pytest.raises(ValidationError):
+            hash_bit(1, 0)
+
+
+class TestSignatures:
+    def test_single_bit(self):
+        assert popcount(signature(7, 64)) == 1
+
+    def test_many_is_or(self):
+        combined = signature_many([1, 2, 3], 64)
+        for v in (1, 2, 3):
+            assert signatures_overlap(signature(v, 64), combined)
+
+    def test_no_false_negatives(self):
+        """A member's signature always overlaps the set signature."""
+        members = list(range(0, 500, 7))
+        set_sig = signature_many(members, 256)
+        for m in members:
+            assert signatures_overlap(signature(m, 256), set_sig)
+
+    def test_disjoint_small_sets_usually_disjoint(self):
+        a = signature_many(range(10), 1024)
+        b = signature_many(range(1000, 1010), 1024)
+        # With 20 bits in 1024, overlap is unlikely; allow either, but the
+        # popcounts must be correct.
+        assert popcount(a) <= 10
+        assert popcount(b) <= 10
+
+    def test_empty_set_signature_zero(self):
+        assert signature_many([], 64) == 0
+        assert not signatures_overlap(0, signature(3, 64))
+
+
+class TestInvertedFile:
+    def test_add_and_lookup(self):
+        inverted = InvertedBitVectorFile(bits=256)
+        inverted.add(gene_id=5, source_id=1)
+        inverted.add(gene_id=5, source_id=2)
+        inverted.add(gene_id=9, source_id=3)
+        assert inverted.sources_of(5) == frozenset({1, 2})
+        assert inverted.sources_of(9) == frozenset({3})
+        assert 5 in inverted
+        assert len(inverted) == 2
+
+    def test_signature_covers_all_sources(self):
+        from repro.index.invertedfile import SOURCE_SALT
+        from repro.index.bitvector import signature as sig
+
+        inverted = InvertedBitVectorFile(bits=256)
+        for source in range(20):
+            inverted.add(7, source)
+        combined = inverted.sources_signature(7)
+        for source in range(20):
+            assert signatures_overlap(sig(source, 256, SOURCE_SALT), combined)
+
+    def test_unknown_gene_signature_zero(self):
+        inverted = InvertedBitVectorFile(bits=64)
+        assert inverted.sources_signature(12345) == 0
+
+    def test_unknown_gene_sources_raises(self):
+        inverted = InvertedBitVectorFile(bits=64)
+        with pytest.raises(UnknownGeneError):
+            inverted.sources_of(12345)
+
+    def test_bits_domain(self):
+        with pytest.raises(ValidationError):
+            InvertedBitVectorFile(bits=4)
+
+
+class TestInvertedFileRemoval:
+    def test_remove_source_rebuilds_signature(self):
+        from repro.index.invertedfile import SOURCE_SALT
+        from repro.index.bitvector import signature as sig
+
+        inverted = InvertedBitVectorFile(bits=256)
+        inverted.add(7, 1)
+        inverted.add(7, 2)
+        inverted.remove_source(1, [7])
+        assert inverted.sources_of(7) == frozenset({2})
+        assert inverted.sources_signature(7) == sig(2, 256, SOURCE_SALT)
+
+    def test_remove_last_source_drops_gene(self):
+        inverted = InvertedBitVectorFile(bits=256)
+        inverted.add(7, 1)
+        inverted.remove_source(1, [7])
+        assert 7 not in inverted
+        assert inverted.sources_signature(7) == 0
+
+    def test_remove_unknown_pair_raises(self):
+        inverted = InvertedBitVectorFile(bits=256)
+        inverted.add(7, 1)
+        with pytest.raises(UnknownGeneError):
+            inverted.remove_source(2, [7])
+        with pytest.raises(UnknownGeneError):
+            inverted.remove_source(1, [9])
+
+    def test_shared_hash_bit_survives_other_source(self):
+        """Removing one source never hides another source that happens to
+        share the same signature bit (rebuild-from-exact semantics)."""
+        from repro.index.invertedfile import SOURCE_SALT
+        from repro.index.bitvector import signature as sig
+
+        inverted = InvertedBitVectorFile(bits=8)  # force collisions
+        for source in range(20):
+            inverted.add(3, source)
+        inverted.remove_source(5, [3])
+        combined = inverted.sources_signature(3)
+        for source in inverted.sources_of(3):
+            assert signatures_overlap(sig(source, 8, SOURCE_SALT), combined)

@@ -1,0 +1,83 @@
+"""Unit tests for the ``imgrn`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_roc_defaults(self):
+        args = build_parser().parse_args(["roc"])
+        assert args.experiment == "roc"
+        assert args.organism == "ecoli"
+
+    def test_unknown_organism_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["roc", "--organism", "yeti"])
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["gamma", "--n-matrices", "30", "--queries", "4"]
+        )
+        assert args.n_matrices == 30
+        assert args.queries == 4
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for name in (
+            "roc",
+            "pcorr",
+            "inference-time",
+            "vs-baseline",
+            "gamma",
+            "alpha",
+            "pivots",
+            "query-size",
+            "matrix-size",
+            "database-size",
+            "index-build",
+        ):
+            assert parser.parse_args([name]).experiment == name
+
+
+class TestMain:
+    def test_roc_prints_summary(self, capsys):
+        code = main(["roc", "--genes", "24", "--mc-samples", "40", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "imgrn" in out
+        assert "AUC" in out
+
+    def test_inference_time_prints_table(self, capsys):
+        code = main(["inference-time", "--sizes", "16", "20", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig5b_inference_time" in out
+        assert "imgrn_seconds" in out
+
+    def test_gamma_sweep_small(self, capsys):
+        code = main(["gamma", "--n-matrices", "8", "--queries", "1", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig7_gamma" in out
+
+
+class TestReport:
+    def test_report_collates_outputs(self, tmp_path, capsys):
+        (tmp_path / "fig_demo.txt").write_text("== demo ==\nrow 1\n")
+        code = main(["report", "--out-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "### fig_demo" in out
+        assert "row 1" in out
+
+    def test_report_missing_dir(self, tmp_path, capsys):
+        code = main(["report", "--out-dir", str(tmp_path / "nope")])
+        assert code == 1
+        assert "no bench outputs" in capsys.readouterr().out

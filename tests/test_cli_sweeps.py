@@ -1,0 +1,47 @@
+"""CLI integration coverage: every sweep subcommand at micro scale.
+
+Complements ``test_cli.py``: each driver subcommand is executed through
+``main()`` with the smallest workable configuration, asserting it prints
+the figure's table header and exits cleanly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize(
+    "argv,expected",
+    [
+        (["alpha", "--n-matrices", "8", "--queries", "1", "--seed", "3"],
+         "fig8_alpha"),
+        (["query-size", "--n-matrices", "8", "--queries", "1", "--seed", "3"],
+         "fig10_query_size"),
+        (["database-size", "--queries", "1", "--seed", "3"],
+         "fig12_database_size"),
+    ],
+)
+def test_sweep_subcommands(argv, expected, capsys):
+    code = main(argv)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert expected in out
+    assert "cpu_seconds" in out
+
+
+def test_pcorr_subcommand(capsys):
+    code = main(["pcorr", "--genes", "24", "--mc-samples", "40", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "pcorr" in out
+
+
+def test_plot_flag(capsys):
+    code = main(
+        ["roc", "--genes", "24", "--mc-samples", "40", "--seed", "3", "--plot"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "TPR" in out and "FPR" in out

@@ -1,0 +1,113 @@
+"""Unit tests for configuration dataclasses and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULTS, PAPER_GRID, Defaults, EngineConfig, SyntheticConfig
+from repro.errors import (
+    DegenerateVectorError,
+    DimensionMismatchError,
+    EmptyDatabaseError,
+    IndexNotBuiltError,
+    InternalError,
+    ReproError,
+    UnknownGeneError,
+    ValidationError,
+)
+
+
+class TestGrid:
+    def test_table2_defaults_are_in_their_sweeps(self):
+        assert DEFAULTS.gamma in PAPER_GRID.gamma
+        assert DEFAULTS.alpha in PAPER_GRID.alpha
+        assert DEFAULTS.num_pivots in PAPER_GRID.num_pivots
+        assert DEFAULTS.query_genes in PAPER_GRID.query_genes
+        assert DEFAULTS.genes_per_matrix in PAPER_GRID.genes_per_matrix
+
+    def test_table2_values(self):
+        assert PAPER_GRID.gamma == (0.2, 0.3, 0.5, 0.8, 0.9)
+        assert PAPER_GRID.num_pivots == (1, 2, 3, 4)
+        assert PAPER_GRID.query_genes == (2, 3, 5, 8, 10)
+
+    def test_defaults_validated(self):
+        with pytest.raises(ValidationError):
+            Defaults(gamma=1.0)
+        with pytest.raises(ValidationError):
+            Defaults(query_genes=1)
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        config = EngineConfig()
+        assert config.num_pivots == 2
+        assert config.expectation_mode == "jensen"
+
+    def test_with_override(self):
+        config = EngineConfig().with_(num_pivots=4)
+        assert config.num_pivots == 4
+        assert config.seed == EngineConfig().seed
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_pivots": 0},
+            {"bitvector_bits": 4},
+            {"mc_samples": 0},
+            {"epsilon": 0.0},
+            {"delta": 1.5},
+            {"expectation_mode": "guess"},
+            {"rstar_max_entries": 2},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValidationError):
+            EngineConfig(**kwargs)
+
+
+class TestSyntheticConfig:
+    def test_defaults_valid(self):
+        assert SyntheticConfig().weights == "uni"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weights": "exp"},
+            {"avg_in_degree": 0.0},
+            {"noise_variance": 0.0},
+            {"genes_range": (5, 3)},
+            {"samples_range": (1, 10)},
+            {"gene_pool": 10, "genes_range": (10, 50)},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValidationError):
+            SyntheticConfig(**kwargs)
+
+    def test_with_override(self):
+        config = SyntheticConfig().with_(weights="gau")
+        assert config.weights == "gau"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ValidationError,
+            DimensionMismatchError,
+            DegenerateVectorError,
+            EmptyDatabaseError,
+            UnknownGeneError,
+            IndexNotBuiltError,
+            InternalError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_errors_are_value_errors(self):
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(DimensionMismatchError, ValidationError)
+
+    def test_unknown_gene_is_key_error(self):
+        assert issubclass(UnknownGeneError, KeyError)
+
+    def test_index_not_built_is_runtime_error(self):
+        assert issubclass(IndexNotBuiltError, RuntimeError)

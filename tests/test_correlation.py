@@ -1,0 +1,149 @@
+"""Unit tests for Pearson / partial correlation and the distance identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    absolute_correlation_matrix,
+    absolute_pearson,
+    correlation_from_distance,
+    correlation_matrix,
+    distance_from_correlation,
+    partial_correlation_matrix,
+    pearson,
+)
+from repro.core.standardize import standardize_vector
+from repro.errors import DegenerateVectorError, DimensionMismatchError
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_symmetry(self, rng):
+        x, y = rng.normal(size=(2, 30))
+        assert pearson(x, y) == pytest.approx(pearson(y, x))
+
+    def test_matches_numpy_corrcoef(self, rng):
+        x, y = rng.normal(size=(2, 50))
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_clamped_to_unit_interval(self, rng):
+        x = rng.normal(size=25)
+        assert -1.0 <= pearson(x, x + 1e-15 * rng.normal(size=25)) <= 1.0
+
+    def test_constant_raises(self):
+        with pytest.raises(DegenerateVectorError):
+            pearson(np.ones(5), np.arange(5.0))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            pearson(np.arange(4.0), np.arange(5.0))
+
+    def test_absolute_pearson(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert absolute_pearson(x, -x) == pytest.approx(1.0)
+
+
+class TestCorrelationMatrix:
+    def test_matches_pairwise_pearson(self, rng):
+        m = rng.normal(size=(20, 6))
+        corr = correlation_matrix(m)
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    assert corr[i, j] == pytest.approx(
+                        pearson(m[:, i], m[:, j]), abs=1e-10
+                    )
+
+    def test_unit_diagonal(self, rng):
+        corr = correlation_matrix(rng.normal(size=(10, 4)))
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+
+    def test_symmetric(self, rng):
+        corr = correlation_matrix(rng.normal(size=(15, 5)))
+        np.testing.assert_allclose(corr, corr.T, atol=1e-12)
+
+    def test_absolute_variant_non_negative(self, rng):
+        corr = absolute_correlation_matrix(rng.normal(size=(15, 5)))
+        assert np.all(corr >= 0.0)
+
+    def test_constant_column_raises(self, rng):
+        m = rng.normal(size=(10, 3))
+        m[:, 0] = 2.0
+        with pytest.raises(DegenerateVectorError):
+            correlation_matrix(m)
+
+    def test_1d_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            correlation_matrix(np.arange(5.0))
+
+
+class TestPartialCorrelation:
+    def test_chain_structure_suppressed(self, rng):
+        # x -> y -> z: x and z correlate marginally but not partially.
+        n = 4000
+        x = rng.normal(size=n)
+        y = x + 0.3 * rng.normal(size=n)
+        z = y + 0.3 * rng.normal(size=n)
+        m = np.column_stack([x, y, z])
+        marginal = np.abs(correlation_matrix(m))
+        partial = np.abs(partial_correlation_matrix(m, shrinkage=0.0))
+        assert marginal[0, 2] > 0.7
+        assert partial[0, 2] < 0.2
+        assert partial[0, 1] > 0.5
+        assert partial[1, 2] > 0.5
+
+    def test_unit_diagonal_and_symmetry(self, rng):
+        p = partial_correlation_matrix(rng.normal(size=(30, 5)))
+        np.testing.assert_allclose(np.diag(p), 1.0)
+        np.testing.assert_allclose(p, p.T, atol=1e-10)
+
+    def test_singular_case_survives_with_shrinkage(self, rng):
+        # More genes than samples: raw correlation matrix is singular.
+        m = rng.normal(size=(5, 12))
+        p = partial_correlation_matrix(m, shrinkage=1e-2)
+        assert np.all(np.isfinite(p))
+        assert np.all(np.abs(p) <= 1.0)
+
+    def test_bad_shrinkage_raises(self, rng):
+        with pytest.raises(DimensionMismatchError):
+            partial_correlation_matrix(rng.normal(size=(10, 3)), shrinkage=1.5)
+
+
+class TestDistanceIdentity:
+    """The Appendix-B identity ``dist^2 = 2*l*(1 - cor)`` for z-scored data."""
+
+    def test_identity_holds_for_standardized_vectors(self, rng):
+        x = standardize_vector(rng.normal(size=24))
+        y = standardize_vector(rng.normal(size=24))
+        dist = float(np.linalg.norm(x - y))
+        assert dist == pytest.approx(
+            distance_from_correlation(pearson(x, y), 24), abs=1e-9
+        )
+
+    def test_roundtrip(self):
+        for cor in (-1.0, -0.4, 0.0, 0.3, 0.99, 1.0):
+            dist = distance_from_correlation(cor, 16)
+            assert correlation_from_distance(dist, 16) == pytest.approx(cor)
+
+    def test_extremes(self):
+        assert distance_from_correlation(1.0, 10) == pytest.approx(0.0)
+        assert distance_from_correlation(-1.0, 10) == pytest.approx(
+            2.0 * np.sqrt(10.0)
+        )
+
+    def test_domain_checks(self):
+        with pytest.raises(DimensionMismatchError):
+            distance_from_correlation(1.5, 10)
+        with pytest.raises(DimensionMismatchError):
+            correlation_from_distance(-0.1, 10)
+        with pytest.raises(DimensionMismatchError):
+            distance_from_correlation(0.5, 1)

@@ -1,0 +1,53 @@
+"""Unit tests for cost counters and aggregation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.eval.counters import QueryStats, Stopwatch, aggregate_stats
+
+
+class TestQueryStats:
+    def test_defaults(self):
+        stats = QueryStats()
+        assert stats.cpu_seconds == 0.0
+        assert stats.total_seconds == 0.0
+
+    def test_total(self):
+        stats = QueryStats(cpu_seconds=0.2, refine_seconds=0.1)
+        assert stats.total_seconds == pytest.approx(0.3)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed > first >= 0.01
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestAggregate:
+    def test_mean_of_fields(self):
+        stats = [
+            QueryStats(cpu_seconds=0.1, io_accesses=10, candidates=2, answers=1),
+            QueryStats(cpu_seconds=0.3, io_accesses=30, candidates=4, answers=3),
+        ]
+        agg = aggregate_stats(stats)
+        assert agg["cpu_seconds"] == pytest.approx(0.2)
+        assert agg["io_accesses"] == pytest.approx(20.0)
+        assert agg["candidates"] == pytest.approx(3.0)
+        assert agg["answers"] == pytest.approx(2.0)
+
+    def test_empty(self):
+        agg = aggregate_stats([])
+        assert agg["cpu_seconds"] == 0.0
+        assert agg["io_accesses"] == 0.0

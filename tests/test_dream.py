@@ -1,0 +1,138 @@
+"""Tests for the DREAM5-format loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dream import (
+    load_dream_expression,
+    load_dream_gold_standard,
+    load_dream_matrix,
+    save_dream_expression,
+    save_dream_gold_standard,
+)
+from repro.errors import UnknownGeneError, ValidationError
+
+
+@pytest.fixture()
+def dream_files(tmp_path, rng):
+    names = [f"G{i}" for i in range(1, 7)]
+    values = rng.normal(size=(10, 6))
+    save_dream_expression(values, names, tmp_path / "expression.tsv")
+    save_dream_gold_standard(
+        [("G1", "G2"), ("G2", "G3"), ("G5", "G6")], tmp_path / "gold.tsv"
+    )
+    return tmp_path, values, names
+
+
+class TestExpression:
+    def test_roundtrip(self, dream_files):
+        tmp_path, values, names = dream_files
+        loaded, loaded_names = load_dream_expression(tmp_path / "expression.tsv")
+        assert loaded_names == names
+        np.testing.assert_allclose(loaded, values, rtol=1e-5)
+
+    def test_comment_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("# chip data\nG1\tG2\n\n1.0\t2.0\n3.0\t4.0\n")
+        values, names = load_dream_expression(path)
+        assert names == ["G1", "G2"]
+        assert values.shape == (2, 2)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("G1\tG2\n1.0\n")
+        with pytest.raises(ValidationError):
+            load_dream_expression(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("G1\tG2\n1.0\tpotato\n")
+        with pytest.raises(ValidationError):
+            load_dream_expression(path)
+
+    def test_duplicate_gene_names_rejected(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("G1\tG1\n1.0\t2.0\n")
+        with pytest.raises(ValidationError):
+            load_dream_expression(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("\n")
+        with pytest.raises(ValidationError):
+            load_dream_expression(path)
+
+
+class TestGoldStandard:
+    def test_loads_positive_edges_only(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("G1\tG2\t1\nG1\tG3\t0\nG2\tG3\t1\n")
+        assert load_dream_gold_standard(path) == [("G1", "G2"), ("G2", "G3")]
+
+    def test_two_field_lines_are_edges(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("G1\tG2\n")
+        assert load_dream_gold_standard(path) == [("G1", "G2")]
+
+    def test_unknown_gene_rejected_with_header(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("G1\tG9\t1\n")
+        with pytest.raises(UnknownGeneError):
+            load_dream_gold_standard(path, gene_names=["G1", "G2"])
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("G1\tG1\t1\n")
+        with pytest.raises(ValidationError):
+            load_dream_gold_standard(path)
+
+    def test_bad_flag_rejected(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("G1\tG2\tmaybe\n")
+        with pytest.raises(ValidationError):
+            load_dream_gold_standard(path)
+
+
+class TestLoadMatrix:
+    def test_matrix_with_truth(self, dream_files):
+        tmp_path, _values, names = dream_files
+        matrix, mapping = load_dream_matrix(
+            tmp_path / "expression.tsv", tmp_path / "gold.tsv"
+        )
+        assert matrix.num_genes == 6
+        assert set(mapping) == set(names)
+        g = mapping
+        assert (min(g["G1"], g["G2"]), max(g["G1"], g["G2"])) in matrix.truth_edges
+        assert len(matrix.truth_edges) == 3
+
+    def test_constant_probe_dropped(self, tmp_path, rng):
+        names = ["G1", "G2", "G3"]
+        values = rng.normal(size=(8, 3))
+        values[:, 1] = 7.0  # dead probe
+        save_dream_expression(values, names, tmp_path / "e.tsv")
+        save_dream_gold_standard([("G1", "G2"), ("G1", "G3")], tmp_path / "g.tsv")
+        matrix, mapping = load_dream_matrix(tmp_path / "e.tsv", tmp_path / "g.tsv")
+        assert matrix.num_genes == 2
+        assert "G2" not in mapping
+        # edges touching the dropped probe vanish with it
+        assert len(matrix.truth_edges) == 1
+
+    def test_pipeline_integration(self, dream_files):
+        """A DREAM-loaded matrix drives the ROC machinery end to end."""
+        from repro.core.inference import EdgeProbabilityEstimator
+        from repro.eval.roc import roc_curve_from_scores
+
+        tmp_path, _values, _names = dream_files
+        matrix, _mapping = load_dream_matrix(
+            tmp_path / "expression.tsv", tmp_path / "gold.tsv"
+        )
+        estimator = EdgeProbabilityEstimator(
+            n_samples=40, semantics="two_sided", seed=1
+        )
+        scores = estimator.probability_matrix(matrix.values)
+        curve = roc_curve_from_scores(
+            scores, matrix.gene_ids, matrix.truth_edges
+        )
+        assert 0.0 <= curve.auc() <= 1.0

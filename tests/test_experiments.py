@@ -1,0 +1,163 @@
+"""Smoke tests for the per-figure experiment drivers (tiny scales).
+
+Each driver runs on a deliberately small configuration: the goal here is
+that every figure's code path executes end-to-end and returns well-formed
+rows; the benchmark harness runs them at reporting scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import experiments
+from repro.eval.reporting import format_roc_summary, format_table
+
+
+@pytest.fixture(scope="module")
+def tiny_kwargs():
+    return {"n_matrices": 12, "num_queries": 2, "seed": 13}
+
+
+class TestDatasets:
+    def test_build_synthetic_workload(self):
+        workload = experiments.build_synthetic_workload(
+            weights="gau",
+            n_matrices=8,
+            genes_range=(8, 12),
+            n_q=3,
+            num_queries=2,
+            seed=13,
+        )
+        assert len(workload.queries) == 2
+        assert workload.engine.is_built
+
+    def test_build_real_database(self):
+        db = experiments.build_real_database(
+            n_matrices=6, genes_range=(8, 12), samples_range=(6, 10), seed=13
+        )
+        assert len(db) == 6
+        # At least some matrices inherit gold-standard edges.
+        assert any(m.truth_edges for m in db)
+        # Sub-matrices from the same organism share gene IDs.
+        shared = [g for g in db.gene_ids() if len(db.sources_containing(g)) >= 2]
+        assert shared
+
+
+class TestRocDrivers:
+    def test_roc_inference_curve_set(self):
+        curves = experiments.roc_inference(
+            organism="ecoli", genes=30, mc_samples=60, seed=13
+        )
+        assert set(curves) == {
+            "imgrn",
+            "correlation",
+            "imgrn_noise",
+            "correlation_noise",
+        }
+        for curve in curves.values():
+            assert 0.0 <= curve.auc() <= 1.0
+        summary = format_roc_summary(curves)
+        assert "imgrn" in summary
+
+    def test_roc_pcorr_curve_set(self):
+        curves = experiments.roc_pcorr(
+            organism="saureus", genes=30, mc_samples=60, seed=13
+        )
+        assert set(curves) == {"imgrn", "pcorr", "imgrn_noise", "pcorr_noise"}
+
+    def test_unknown_organism(self):
+        with pytest.raises(Exception):
+            experiments.roc_inference(organism="tardigrade")
+
+
+class TestEfficiencyDrivers:
+    def test_inference_time_rows(self):
+        result = experiments.inference_time(sizes=(20, 30), seed=13)
+        assert [row["n_i"] for row in result.rows] == [20.0, 30.0]
+        for row in result.rows:
+            assert row["imgrn_seconds"] > row["correlation_seconds"]
+
+    def test_vs_baseline_rows(self):
+        result = experiments.vs_baseline(
+            n_matrices=9,
+            genes_range=(8, 12),
+            n_q=3,
+            num_queries=2,
+            seed=13,
+            include_linear_scan=True,
+        )
+        datasets = [row["dataset"] for row in result.rows]
+        assert datasets == ["real", "uni", "gau"]
+        for row in result.rows:
+            assert row["imgrn_cpu"] > 0
+            assert row["baseline_io"] >= 9  # one page per matrix minimum
+            assert "scan_cpu" in row
+        table = format_table(result)
+        assert "baseline_io" in table
+
+    def test_vary_gamma_rows(self, tiny_kwargs):
+        result = experiments.vary_gamma(gammas=(0.3, 0.8), **tiny_kwargs)
+        assert len(result.rows) == 4  # 2 gammas x {uni, gau}
+        assert {row["dataset"] for row in result.rows} == {"uni", "gau"}
+
+    def test_vary_alpha_rows(self, tiny_kwargs):
+        result = experiments.vary_alpha(alphas=(0.2, 0.9), **tiny_kwargs)
+        assert len(result.rows) == 4
+
+    def test_vary_pivots_rows(self, tiny_kwargs):
+        result = experiments.vary_pivots(pivot_counts=(1, 2), **tiny_kwargs)
+        assert len(result.rows) == 4
+        assert {row["d"] for row in result.rows} == {1.0, 2.0}
+
+    def test_vary_query_size_rows(self, tiny_kwargs):
+        result = experiments.vary_query_size(query_sizes=(2, 3), **tiny_kwargs)
+        assert len(result.rows) == 4
+
+    def test_vary_matrix_size_rows(self):
+        result = experiments.vary_matrix_size(
+            ranges=((8, 12), (12, 18)), n_matrices=10, num_queries=2, seed=13
+        )
+        assert len(result.rows) == 4
+        assert result.rows[0]["n_range"] == "[8,12]"
+
+    def test_vary_database_size_rows(self):
+        result = experiments.vary_database_size(
+            sizes=(6, 12), num_queries=2, seed=13
+        )
+        assert len(result.rows) == 4
+        uni = [r for r in result.rows if r["dataset"] == "uni"]
+        assert [r["N"] for r in uni] == [6.0, 12.0]
+
+    def test_index_construction_rows(self):
+        result = experiments.index_construction(
+            ranges=((8, 12),), sizes=(6,), seed=13
+        )
+        # (1 range + 1 size) x 2 datasets
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row["build_seconds"] > 0
+            assert row["index_pages"] >= 1
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        result = experiments.ExperimentResult(
+            name="demo",
+            x_label="x",
+            rows=[{"x": 1.0, "y": 0.5}, {"x": 2.0, "y": 0.25}],
+        )
+        table = format_table(result)
+        lines = table.splitlines()
+        assert lines[0] == "== demo =="
+        assert "x" in lines[1] and "y" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty(self):
+        result = experiments.ExperimentResult(name="demo", x_label="x")
+        assert "(no rows)" in format_table(result)
+
+    def test_series_extraction(self):
+        result = experiments.ExperimentResult(
+            name="demo", x_label="x", rows=[{"x": 1.0}, {"x": 2.0}]
+        )
+        assert result.series("x") == [1.0, 2.0]

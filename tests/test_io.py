@@ -1,0 +1,93 @@
+"""Unit tests for TSV / NPZ persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.database import GeneFeatureDatabase
+from repro.data.io import (
+    load_database_npz,
+    load_matrix_tsv,
+    save_database_npz,
+    save_matrix_tsv,
+)
+from repro.data.matrix import GeneFeatureMatrix
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def matrix(rng) -> GeneFeatureMatrix:
+    return GeneFeatureMatrix(
+        rng.normal(size=(6, 3)),
+        gene_ids=[2, 5, 9],
+        source_id=4,
+        truth_edges=[(2, 9)],
+    )
+
+
+class TestTsv:
+    def test_roundtrip(self, matrix, tmp_path):
+        path = tmp_path / "m.tsv"
+        save_matrix_tsv(matrix, path)
+        back = load_matrix_tsv(path)
+        np.testing.assert_allclose(back.values, matrix.values, rtol=1e-9)
+        assert back.gene_ids == matrix.gene_ids
+        assert back.source_id == matrix.source_id
+        assert back.truth_edges == matrix.truth_edges
+
+    def test_roundtrip_without_truth(self, rng, tmp_path):
+        m = GeneFeatureMatrix(rng.normal(size=(5, 2)), [1, 2], 0)
+        path = tmp_path / "m.tsv"
+        save_matrix_tsv(m, path)
+        assert load_matrix_tsv(path).truth_edges == frozenset()
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\n1.0\t2.0\n")
+        with pytest.raises(ValidationError, match="header"):
+            load_matrix_tsv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.tsv"
+        path.write_text("1\t2\n1.0\t2.0\n3.0\n")
+        with pytest.raises(ValidationError, match="values"):
+            load_matrix_tsv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("\n")
+        with pytest.raises(ValidationError, match="no data"):
+            load_matrix_tsv(path)
+
+    def test_non_numeric_value(self, tmp_path):
+        path = tmp_path / "nn.tsv"
+        path.write_text("1\t2\n1.0\tpotato\n")
+        with pytest.raises(ValidationError):
+            load_matrix_tsv(path)
+
+
+class TestNpz:
+    def test_roundtrip_database(self, matrix, rng, tmp_path):
+        other = GeneFeatureMatrix(rng.normal(size=(4, 2)), [9, 11], 7)
+        db = GeneFeatureDatabase([matrix, other])
+        path = tmp_path / "db.npz"
+        save_database_npz(db, path)
+        back = load_database_npz(path)
+        assert back.source_ids == db.source_ids
+        for sid in db.source_ids:
+            np.testing.assert_allclose(
+                back.get(sid).values, db.get(sid).values
+            )
+            assert back.get(sid).gene_ids == db.get(sid).gene_ids
+            assert back.get(sid).truth_edges == db.get(sid).truth_edges
+
+    def test_empty_database_rejected(self, tmp_path):
+        with pytest.raises(Exception):
+            save_database_npz(GeneFeatureDatabase(), tmp_path / "x.npz")
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValidationError):
+            load_database_npz(path)

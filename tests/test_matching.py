@@ -1,0 +1,159 @@
+"""Unit tests for probabilistic subgraph isomorphism."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.matching import best_embedding, find_embeddings, matches
+from repro.core.probgraph import ProbabilisticGraph
+from repro.errors import ValidationError
+
+
+def path_graph(ids, p=0.9):
+    return ProbabilisticGraph(
+        ids, {(ids[i], ids[i + 1]): p for i in range(len(ids) - 1)}
+    )
+
+
+@pytest.fixture()
+def data_graph() -> ProbabilisticGraph:
+    # A 5-clique-ish graph with varied probabilities.
+    edges = {
+        (0, 1): 0.9,
+        (1, 2): 0.8,
+        (2, 3): 0.7,
+        (3, 4): 0.6,
+        (0, 2): 0.5,
+        (1, 3): 0.4,
+    }
+    return ProbabilisticGraph(range(5), edges)
+
+
+class TestExactLabelMode:
+    def test_identity_embedding_found(self, data_graph):
+        query = ProbabilisticGraph([0, 1, 2], {(0, 1): 0.9, (1, 2): 0.8})
+        found = find_embeddings(query, data_graph)
+        assert len(found) == 1
+        assert found[0].as_dict() == {0: 0, 1: 1, 2: 2}
+        assert found[0].probability == pytest.approx(0.9 * 0.8)
+
+    def test_missing_gene_no_match(self, data_graph):
+        query = ProbabilisticGraph([0, 99], {(0, 99): 0.5})
+        assert find_embeddings(query, data_graph) == []
+
+    def test_missing_edge_no_match(self, data_graph):
+        query = ProbabilisticGraph([0, 4], {(0, 4): 0.5})
+        assert find_embeddings(query, data_graph) == []
+
+    def test_alpha_threshold_filters(self, data_graph):
+        query = ProbabilisticGraph([2, 3, 4], {(2, 3): 0.7, (3, 4): 0.6})
+        assert matches(query, data_graph, alpha=0.3)
+        assert not matches(query, data_graph, alpha=0.5)  # 0.42 <= 0.5
+
+    def test_query_edge_probability_irrelevant(self, data_graph):
+        """Definition 4's Pr{G} multiplies *data* edge probabilities."""
+        query = ProbabilisticGraph([0, 1], {(0, 1): 0.01})
+        emb = best_embedding(query, data_graph)
+        assert emb is not None
+        assert emb.probability == pytest.approx(0.9)
+
+    def test_edge_free_query_matches_with_probability_one(self, data_graph):
+        query = ProbabilisticGraph([0, 3])
+        emb = best_embedding(query, data_graph)
+        assert emb is not None
+        assert emb.probability == 1.0
+
+
+class TestStructuralMode:
+    def test_path_in_path_count(self):
+        data = path_graph(list(range(5)))
+        query = path_graph([100, 101, 102])
+        found = find_embeddings(query, data, label_mode="ignore")
+        # networkx reference count
+        gm = nx.algorithms.isomorphism.GraphMatcher(
+            data.to_networkx(), query.to_networkx()
+        )
+        expected = sum(1 for _ in gm.subgraph_monomorphisms_iter())
+        assert len(found) == expected
+        assert expected == 6  # 3 positions x 2 directions
+
+    def test_matches_networkx_on_random_graphs(self):
+        import random
+
+        random.seed(4)
+        for trial in range(8):
+            g = nx.gnp_random_graph(7, 0.45, seed=trial)
+            data = ProbabilisticGraph.from_networkx(g, default_p=0.9)
+            sub_nodes = list(g.nodes)[:4]
+            sub = g.subgraph(sub_nodes)
+            if sub.number_of_edges() == 0:
+                continue
+            query = ProbabilisticGraph(
+                [n + 100 for n in sub_nodes],
+                {
+                    (u + 100, v + 100): 0.5
+                    for u, v in sub.edges
+                },
+            )
+            ours = find_embeddings(query, data, label_mode="ignore")
+            gm = nx.algorithms.isomorphism.GraphMatcher(g, query.to_networkx())
+            reference = sum(1 for _ in gm.subgraph_monomorphisms_iter())
+            assert len(ours) == reference, f"trial {trial}"
+
+    def test_embeddings_are_valid(self, data_graph):
+        query = path_graph([7, 8, 9], p=0.2)
+        for emb in find_embeddings(query, data_graph, label_mode="ignore"):
+            mapping = emb.as_dict()
+            assert len(set(mapping.values())) == 3  # injective
+            for (u, v), _p in query.edges():
+                assert data_graph.has_edge(mapping[u], mapping[v])
+
+    def test_probability_is_product_of_mapped_edges(self, data_graph):
+        query = path_graph([7, 8], p=0.2)
+        for emb in find_embeddings(query, data_graph, label_mode="ignore"):
+            u, v = emb.as_dict()[7], emb.as_dict()[8]
+            assert emb.probability == pytest.approx(
+                data_graph.edge_probability(u, v)
+            )
+
+    def test_alpha_pruning_matches_post_filter(self, data_graph):
+        query = path_graph([7, 8, 9], p=0.2)
+        all_embs = find_embeddings(query, data_graph, label_mode="ignore", alpha=0.0)
+        pruned = find_embeddings(query, data_graph, label_mode="ignore", alpha=0.45)
+        expected = [e for e in all_embs if e.probability > 0.45]
+        assert sorted(e.mapping for e in pruned) == sorted(
+            e.mapping for e in expected
+        )
+
+    def test_max_embeddings_cap(self):
+        data = path_graph(list(range(6)))
+        query = path_graph([10, 11])
+        found = find_embeddings(query, data, label_mode="ignore", max_embeddings=3)
+        assert len(found) == 3
+
+    def test_query_larger_than_data(self):
+        data = path_graph([0, 1])
+        query = path_graph([0, 1, 2])
+        assert find_embeddings(query, data, label_mode="ignore") == []
+
+    def test_results_sorted_by_probability(self, data_graph):
+        query = path_graph([7, 8], p=0.2)
+        found = find_embeddings(query, data_graph, label_mode="ignore")
+        probs = [e.probability for e in found]
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestValidation:
+    def test_bad_alpha(self, data_graph):
+        query = path_graph([0, 1])
+        with pytest.raises(ValidationError):
+            find_embeddings(query, data_graph, alpha=1.0)
+
+    def test_bad_label_mode(self, data_graph):
+        query = path_graph([0, 1])
+        with pytest.raises(ValidationError):
+            find_embeddings(query, data_graph, label_mode="fuzzy")
+
+    def test_empty_query(self, data_graph):
+        assert find_embeddings(ProbabilisticGraph([]), data_graph) == []

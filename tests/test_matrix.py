@@ -1,0 +1,170 @@
+"""Unit tests for GeneFeatureMatrix and GeneFeatureDatabase."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.database import GeneFeatureDatabase
+from repro.data.matrix import GeneFeatureMatrix
+from repro.errors import (
+    DegenerateVectorError,
+    EmptyDatabaseError,
+    UnknownGeneError,
+    ValidationError,
+)
+
+
+@pytest.fixture()
+def matrix(rng) -> GeneFeatureMatrix:
+    return GeneFeatureMatrix(
+        rng.normal(size=(10, 4)),
+        gene_ids=[3, 7, 11, 20],
+        source_id=5,
+        truth_edges=[(3, 7), (11, 20)],
+    )
+
+
+class TestMatrixConstruction:
+    def test_accessors(self, matrix):
+        assert matrix.shape == (10, 4)
+        assert matrix.num_samples == 10
+        assert matrix.num_genes == 4
+        assert matrix.source_id == 5
+        assert matrix.gene_ids == (3, 7, 11, 20)
+        assert matrix.truth_edges == frozenset({(3, 7), (11, 20)})
+
+    def test_column_lookup(self, matrix):
+        assert matrix.column_index(11) == 2
+        np.testing.assert_allclose(matrix.column(11), matrix.values[:, 2])
+        assert 11 in matrix
+        assert 99 not in matrix
+
+    def test_unknown_gene_raises(self, matrix):
+        with pytest.raises(UnknownGeneError):
+            matrix.column(99)
+
+    def test_values_read_only(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.values[0, 0] = 1.0
+
+    def test_duplicate_gene_ids_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            GeneFeatureMatrix(rng.normal(size=(5, 2)), [1, 1], 0)
+
+    def test_negative_gene_id_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            GeneFeatureMatrix(rng.normal(size=(5, 2)), [-1, 2], 0)
+
+    def test_too_few_samples_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            GeneFeatureMatrix(rng.normal(size=(2, 3)), [1, 2, 3], 0)
+
+    def test_constant_column_rejected(self, rng):
+        values = rng.normal(size=(6, 3))
+        values[:, 1] = 4.2
+        with pytest.raises(DegenerateVectorError):
+            GeneFeatureMatrix(values, [1, 2, 3], 0)
+
+    def test_truth_edge_outside_genes_rejected(self, rng):
+        with pytest.raises(UnknownGeneError):
+            GeneFeatureMatrix(
+                rng.normal(size=(5, 2)), [1, 2], 0, truth_edges=[(1, 9)]
+            )
+
+    def test_nan_rejected(self, rng):
+        values = rng.normal(size=(5, 2))
+        values[0, 0] = np.nan
+        with pytest.raises(DegenerateVectorError):
+            GeneFeatureMatrix(values, [1, 2], 0)
+
+
+class TestClean:
+    def test_drops_constant_and_nan_columns(self, rng):
+        values = rng.normal(size=(6, 4))
+        values[:, 1] = 3.0
+        values[2, 3] = np.nan
+        cleaned = GeneFeatureMatrix.clean(
+            values, [10, 20, 30, 40], 0, truth_edges=[(10, 20), (10, 30)]
+        )
+        assert cleaned.gene_ids == (10, 30)
+        assert cleaned.truth_edges == frozenset({(10, 30)})
+
+    def test_all_degenerate_rejected(self):
+        with pytest.raises(DegenerateVectorError):
+            GeneFeatureMatrix.clean(np.ones((5, 3)), [1, 2, 3], 0)
+
+
+class TestSubmatrix:
+    def test_keeps_samples_and_restricts_genes(self, matrix):
+        sub = matrix.submatrix([7, 20])
+        assert sub.shape == (10, 2)
+        assert sub.gene_ids == (7, 20)
+        np.testing.assert_allclose(sub.column(7), matrix.column(7))
+
+    def test_truth_edges_restricted(self, matrix):
+        sub = matrix.submatrix([11, 20])
+        assert sub.truth_edges == frozenset({(11, 20)})
+        assert matrix.submatrix([3, 11]).truth_edges == frozenset()
+
+    def test_new_source_id(self, matrix):
+        assert matrix.submatrix([3, 7], source_id=99).source_id == 99
+
+    def test_too_few_genes_rejected(self, matrix):
+        with pytest.raises(ValidationError):
+            matrix.submatrix([3])
+
+    def test_standardized_columns(self, matrix):
+        z = matrix.standardized()
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-12)
+
+
+class TestDatabase:
+    def test_add_and_lookup(self, matrix):
+        db = GeneFeatureDatabase([matrix])
+        assert len(db) == 1
+        assert db.get(5) is matrix
+        assert 5 in db
+        assert db.source_ids == (5,)
+
+    def test_duplicate_source_rejected(self, matrix):
+        db = GeneFeatureDatabase([matrix])
+        with pytest.raises(ValidationError):
+            db.add(matrix)
+
+    def test_unknown_source_raises(self, matrix):
+        db = GeneFeatureDatabase([matrix])
+        with pytest.raises(UnknownGeneError):
+            db.get(99)
+
+    def test_gene_source_index(self, rng, matrix):
+        other = GeneFeatureMatrix(rng.normal(size=(6, 2)), [7, 50], 6)
+        db = GeneFeatureDatabase([matrix, other])
+        assert db.sources_containing(7) == frozenset({5, 6})
+        assert db.sources_containing(50) == frozenset({6})
+        assert db.sources_containing(999) == frozenset()
+        assert db.gene_ids() == frozenset({3, 7, 11, 20, 50})
+
+    def test_empty_guard(self):
+        db = GeneFeatureDatabase()
+        with pytest.raises(EmptyDatabaseError):
+            db.require_non_empty()
+        with pytest.raises(EmptyDatabaseError):
+            db.describe()
+
+    def test_describe(self, rng, matrix):
+        other = GeneFeatureMatrix(rng.normal(size=(6, 2)), [7, 50], 6)
+        stats = GeneFeatureDatabase([matrix, other]).describe()
+        assert stats["num_matrices"] == 2.0
+        assert stats["total_gene_vectors"] == 6.0
+        assert stats["min_samples"] == 6.0
+        assert stats["max_samples"] == 10.0
+
+    def test_non_matrix_rejected(self):
+        db = GeneFeatureDatabase()
+        with pytest.raises(ValidationError):
+            db.add("not a matrix")  # type: ignore[arg-type]
+
+    def test_total_genes(self, rng, matrix):
+        other = GeneFeatureMatrix(rng.normal(size=(6, 2)), [7, 50], 6)
+        assert GeneFeatureDatabase([matrix, other]).total_genes() == 6

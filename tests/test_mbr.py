@@ -1,0 +1,116 @@
+"""Unit tests for minimum bounding rectangles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, ValidationError
+from repro.index.mbr import MBR
+
+
+def box(low, high):
+    return MBR(np.asarray(low, dtype=float), np.asarray(high, dtype=float))
+
+
+class TestConstruction:
+    def test_from_point_degenerate(self):
+        b = MBR.from_point(np.array([1.0, 2.0]))
+        assert b.area() == 0.0
+        assert b.contains_point(np.array([1.0, 2.0]))
+
+    def test_from_points_tight(self, rng):
+        pts = rng.normal(size=(20, 3))
+        b = MBR.from_points(pts)
+        np.testing.assert_allclose(b.low, pts.min(axis=0))
+        np.testing.assert_allclose(b.high, pts.max(axis=0))
+
+    def test_inverted_corners_rejected(self):
+        with pytest.raises(ValidationError):
+            box([1.0, 0.0], [0.0, 1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            MBR(np.zeros(2), np.zeros(3))
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValidationError):
+            MBR.from_points(np.empty((0, 2)))
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            MBR.union_of([])
+
+
+class TestGeometry:
+    def test_area_and_margin(self):
+        b = box([0, 0], [2, 3])
+        assert b.area() == 6.0
+        assert b.margin() == 5.0
+
+    def test_union_encloses_both(self):
+        a = box([0, 0], [1, 1])
+        b = box([2, 2], [3, 3])
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+        assert u.area() == 9.0
+
+    def test_extend_in_place(self):
+        a = box([0, 0], [1, 1])
+        a.extend(box([2, 2], [3, 3]))
+        assert a.contains_point(np.array([3.0, 3.0]))
+
+    def test_extend_point(self):
+        a = box([0, 0], [1, 1])
+        a.extend_point(np.array([-1.0, 0.5]))
+        assert a.low[0] == -1.0
+
+    def test_enlargement(self):
+        a = box([0, 0], [1, 1])
+        assert a.enlargement(box([0, 0], [1, 2])) == pytest.approx(1.0)
+        assert a.enlargement(box([0.2, 0.2], [0.8, 0.8])) == 0.0
+
+    def test_overlap(self):
+        a = box([0, 0], [2, 2])
+        assert a.overlap(box([1, 1], [3, 3])) == pytest.approx(1.0)
+        assert a.overlap(box([5, 5], [6, 6])) == 0.0
+
+    def test_overlap_symmetric(self, rng):
+        for _ in range(10):
+            lows = rng.normal(size=(2, 3))
+            a = MBR(lows[0], lows[0] + rng.uniform(0.1, 2.0, 3))
+            b = MBR(lows[1], lows[1] + rng.uniform(0.1, 2.0, 3))
+            assert a.overlap(b) == pytest.approx(b.overlap(a))
+
+    def test_intersects_touching_boxes(self):
+        a = box([0, 0], [1, 1])
+        b = box([1, 1], [2, 2])
+        assert a.intersects(b)
+        assert a.overlap(b) == 0.0  # touching has zero measure
+
+    def test_containment(self):
+        outer = box([0, 0], [10, 10])
+        inner = box([1, 1], [2, 2])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_center_distance(self):
+        a = box([0, 0], [2, 2])  # center (1,1)
+        b = box([3, 1], [5, 1])  # center (4,1)
+        assert a.center_distance(b) == pytest.approx(3.0)
+
+    def test_copy_independent(self):
+        a = box([0, 0], [1, 1])
+        c = a.copy()
+        c.extend_point(np.array([9.0, 9.0]))
+        assert a.high[0] == 1.0
+
+    def test_equality(self):
+        assert box([0, 0], [1, 1]) == box([0, 0], [1, 1])
+        assert box([0, 0], [1, 1]) != box([0, 0], [1, 2])
+
+    def test_union_of_many(self, rng):
+        boxes = [MBR.from_point(rng.normal(size=2)) for _ in range(8)]
+        u = MBR.union_of(boxes)
+        for b in boxes:
+            assert u.contains(b)

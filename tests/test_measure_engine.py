@@ -1,0 +1,112 @@
+"""Tests for the generalized-measure scan engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, GeneFeatureDatabase, GeneFeatureMatrix, IMGRNEngine
+from repro.core.measure_engine import MeasureScanEngine
+from repro.errors import IndexNotBuiltError, ValidationError
+
+from conftest import TEST_CONFIG
+
+
+def quadratic_family_database(rng) -> GeneFeatureDatabase:
+    """Sources 0-2 share a quadratic interaction on genes (1, 2); sources
+    3-7 are independent noise on the same gene IDs."""
+    matrices = []
+    for source_id in range(8):
+        samples = 60
+        x = rng.normal(size=samples)
+        if source_id < 3:
+            y = x * x - 1.0 + 0.15 * rng.normal(size=samples)
+        else:
+            y = rng.normal(size=samples)
+        filler = rng.normal(size=(samples, 2))
+        values = np.column_stack([x, y, filler])
+        matrices.append(
+            GeneFeatureMatrix(values, [1, 2, 100 + source_id, 200 + source_id],
+                              source_id)
+        )
+    return GeneFeatureDatabase(matrices)
+
+
+class TestBasics:
+    def test_pearson_scan_engine_agrees_on_dependent_pairs(
+        self, small_database, query_workload
+    ):
+        """With the Pearson score the scan engine implements Eq. 1; its
+        answers are close to (not identical with -- different semantics)
+        the indexed Eq.-4 engine's. Check agreement on the query's own
+        source, where the probabilities are far from the threshold."""
+        engine = MeasureScanEngine(
+            small_database, "pearson", TEST_CONFIG
+        )
+        engine.build()
+        query = query_workload[0]
+        result = engine.query(query, 0.5, 0.0)
+        assert query.source_id in result.answer_sources()
+
+    def test_query_before_build(self, small_database, query_workload):
+        engine = MeasureScanEngine(small_database, "pearson")
+        with pytest.raises(IndexNotBuiltError):
+            engine.query(query_workload[0], 0.5, 0.5)
+
+    def test_unknown_measure_rejected(self, small_database):
+        with pytest.raises(ValidationError):
+            MeasureScanEngine(small_database, "voodoo")
+
+    def test_threshold_domains(self, small_database, query_workload):
+        engine = MeasureScanEngine(small_database, "pearson", TEST_CONFIG)
+        engine.build()
+        with pytest.raises(ValidationError):
+            engine.query(query_workload[0], 1.0, 0.5)
+        with pytest.raises(ValidationError):
+            engine.query(query_workload[0], 0.5, 1.0)
+
+    def test_stats_populated(self, small_database, query_workload):
+        engine = MeasureScanEngine(small_database, "pearson", TEST_CONFIG)
+        engine.build()
+        stats = engine.query(query_workload[0], 0.5, 0.5).stats
+        assert stats.cpu_seconds > 0.0
+        assert stats.io_accesses >= len(small_database)
+
+
+class TestNonlinearMatching:
+    """The capability the extension exists for."""
+
+    def test_mi_engine_finds_quadratic_family(self, rng):
+        database = quadratic_family_database(rng)
+        query = database.get(0).submatrix([1, 2])
+
+        mi_engine = MeasureScanEngine(
+            database, "mutual_information", EngineConfig(mc_samples=100, seed=3)
+        )
+        mi_engine.build()
+        result = mi_engine.query(query, gamma=0.9, alpha=0.5)
+        found = set(result.answer_sources())
+        assert {0, 1, 2} <= found
+        assert not found & {3, 4, 5, 6, 7}
+
+    def test_pearson_index_engine_blind_to_quadratic_family(self, rng):
+        """The indexed Eq.-4 engine cannot see the y = x^2 interaction:
+        its query graph at high gamma has no edge between genes 1 and 2."""
+        database = quadratic_family_database(rng)
+        query = database.get(0).submatrix([1, 2])
+        engine = IMGRNEngine(database, EngineConfig(mc_samples=100, seed=3))
+        engine.build()
+        query_graph = engine.infer_query_graph(query, gamma=0.9)
+        assert not query_graph.has_edge(1, 2)
+
+    def test_custom_score_callable(self, rng):
+        database = quadratic_family_database(rng)
+        query = database.get(0).submatrix([1, 2])
+        engine = MeasureScanEngine(
+            database,
+            measure=lambda a, b: abs(float(np.corrcoef(a * a, b)[0, 1])),
+            config=EngineConfig(mc_samples=60, seed=3),
+        )
+        engine.build()
+        result = engine.query(query, gamma=0.9, alpha=0.5)
+        assert 0 in result.answer_sources()

@@ -1,0 +1,77 @@
+"""Tests for engine save/load (prototype-system persistence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IMGRNEngine
+from repro.core.persistence import load_engine, save_engine
+from repro.errors import IndexNotBuiltError, ValidationError
+
+from conftest import TEST_CONFIG
+
+
+class TestSaveLoad:
+    def test_roundtrip_answers_identical(
+        self, built_engine, query_workload, tmp_path
+    ):
+        path = tmp_path / "engine.npz"
+        save_engine(built_engine, path)
+        loaded = load_engine(path)
+        for query in query_workload:
+            original = built_engine.query(query, 0.5, 0.2)
+            restored = loaded.query(query, 0.5, 0.2)
+            assert restored.answer_sources() == original.answer_sources()
+            assert restored.stats.candidates == original.stats.candidates
+
+    def test_roundtrip_preserves_embeddings(self, built_engine, tmp_path):
+        path = tmp_path / "engine.npz"
+        save_engine(built_engine, path)
+        loaded = load_engine(path)
+        for source_id, entry in built_engine._entries.items():
+            restored = loaded._entries[source_id].embedded
+            np.testing.assert_array_equal(restored.x, entry.embedded.x)
+            np.testing.assert_array_equal(restored.y, entry.embedded.y)
+            assert restored.pivot_indices == entry.embedded.pivot_indices
+
+    def test_roundtrip_preserves_config_and_database(
+        self, built_engine, tmp_path
+    ):
+        path = tmp_path / "engine.npz"
+        save_engine(built_engine, path)
+        loaded = load_engine(path)
+        assert loaded.config == built_engine.config
+        assert loaded.database.source_ids == built_engine.database.source_ids
+        loaded.tree.check_invariants()
+
+    def test_loaded_engine_supports_updates(
+        self, built_engine, tmp_path, query_workload
+    ):
+        from repro.config import SyntheticConfig
+        from repro.data.synthetic import generate_matrix
+
+        path = tmp_path / "engine.npz"
+        save_engine(built_engine, path)
+        loaded = load_engine(path)
+        new_matrix = generate_matrix(
+            SyntheticConfig(
+                genes_range=(10, 14), samples_range=(8, 12), gene_pool=50, seed=5
+            ),
+            source_id=600,
+            rng=np.random.default_rng(5),
+        )
+        loaded.add_matrix(new_matrix)
+        query = new_matrix.submatrix(list(new_matrix.gene_ids[:3]))
+        assert 600 in loaded.query(query, 0.5, 0.0).answer_sources()
+
+    def test_save_unbuilt_rejected(self, small_database, tmp_path):
+        engine = IMGRNEngine(small_database, TEST_CONFIG)
+        with pytest.raises(IndexNotBuiltError):
+            save_engine(engine, tmp_path / "x.npz")
+
+    def test_load_garbage_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValidationError):
+            load_engine(path)

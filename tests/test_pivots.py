@@ -1,0 +1,97 @@
+"""Unit tests for the cost model and Fig.-3 pivot selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pivots import (
+    pivot_cost,
+    pivot_cost_literal,
+    select_pivots,
+    select_pivots_random,
+)
+from repro.core.standardize import standardize_matrix
+from repro.errors import ValidationError
+
+
+class TestCostModel:
+    def test_fast_form_equals_literal_double_min(self, rng):
+        m = rng.normal(size=(12, 9))
+        std = standardize_matrix(m)
+        for pivots in ([0], [1, 4], [2, 5, 8]):
+            fast = pivot_cost(std, np.array(pivots))
+            literal = pivot_cost_literal(std, np.array(pivots))
+            assert fast == pytest.approx(literal, rel=1e-10)
+
+    def test_cost_non_negative(self, rng):
+        std = standardize_matrix(rng.normal(size=(10, 6)))
+        assert pivot_cost(std, np.array([0, 3])) >= 0.0
+
+    def test_all_columns_as_pivots_gives_zero_cost(self, rng):
+        std = standardize_matrix(rng.normal(size=(10, 4)))
+        assert pivot_cost(std, np.arange(4)) == pytest.approx(0.0)
+
+    def test_cost_decreases_with_more_pivots(self, rng):
+        std = standardize_matrix(rng.normal(size=(10, 8)))
+        c1 = pivot_cost(std, np.array([0]))
+        c2 = pivot_cost(std, np.array([0, 1]))
+        c3 = pivot_cost(std, np.array([0, 1, 2]))
+        assert c1 >= c2 >= c3
+
+
+class TestSelectPivots:
+    def test_returns_sorted_unique_valid_indices(self, rng):
+        m = rng.normal(size=(10, 12))
+        pivots = select_pivots(m, 3, rng=rng)
+        assert len(pivots) == 3
+        assert len(set(pivots)) == 3
+        assert pivots == tuple(sorted(pivots))
+        assert all(0 <= p < 12 for p in pivots)
+
+    def test_never_worse_than_initial_random_choice(self, rng):
+        """The swap search starts from random sets and only accepts
+        improvements, so its result beats a fresh random pick on average."""
+        m = rng.normal(size=(14, 20))
+        std = standardize_matrix(m)
+        selected_costs = []
+        random_costs = []
+        for seed in range(6):
+            chosen = select_pivots(m, 2, global_iter=2, swap_iter=15, rng=seed)
+            selected_costs.append(pivot_cost(std, np.array(chosen)))
+            randomly = select_pivots_random(m, 2, rng=seed + 100)
+            random_costs.append(pivot_cost(std, np.array(randomly)))
+        assert np.mean(selected_costs) <= np.mean(random_costs) + 1e-9
+
+    def test_d_equals_n_returns_all(self, rng):
+        m = rng.normal(size=(8, 5))
+        assert select_pivots(m, 5, rng=rng) == (0, 1, 2, 3, 4)
+
+    def test_deterministic_given_seed(self, rng):
+        m = rng.normal(size=(10, 15))
+        assert select_pivots(m, 3, rng=42) == select_pivots(m, 3, rng=42)
+
+    def test_domain_checks(self, rng):
+        m = rng.normal(size=(8, 5))
+        with pytest.raises(ValidationError):
+            select_pivots(m, 0)
+        with pytest.raises(ValidationError):
+            select_pivots(m, 6)
+        with pytest.raises(ValidationError):
+            select_pivots(m, 2, global_iter=0)
+
+    def test_random_strategy_domain(self, rng):
+        m = rng.normal(size=(8, 5))
+        with pytest.raises(ValidationError):
+            select_pivots_random(m, 9)
+
+    def test_swap_improves_over_pure_restart(self, rng):
+        """With swap_iter=0 the search is pure random restart; swaps only
+        lower the cost."""
+        m = rng.normal(size=(12, 30))
+        std = standardize_matrix(m)
+        no_swap = select_pivots(m, 2, global_iter=1, swap_iter=0, rng=3)
+        with_swap = select_pivots(m, 2, global_iter=1, swap_iter=40, rng=3)
+        assert pivot_cost(std, np.array(with_swap)) <= pivot_cost(
+            std, np.array(no_swap)
+        ) + 1e-9

@@ -1,0 +1,142 @@
+"""Unit tests for the probabilistic GRN graph model and possible worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probgraph import ProbabilisticGraph, edge_key
+from repro.errors import UnknownGeneError, ValidationError
+
+
+@pytest.fixture()
+def triangle() -> ProbabilisticGraph:
+    return ProbabilisticGraph(
+        [1, 2, 3], {(1, 2): 0.9, (2, 3): 0.8, (1, 3): 0.5}
+    )
+
+
+class TestEdgeKey:
+    def test_sorted(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            edge_key(3, 3)
+
+
+class TestConstruction:
+    def test_basic_accessors(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+        assert 2 in triangle
+        assert 4 not in triangle
+        assert triangle.has_edge(3, 2)
+        assert triangle.edge_probability(2, 1) == 0.9
+
+    def test_duplicate_gene_rejected(self):
+        with pytest.raises(ValidationError):
+            ProbabilisticGraph([1, 1, 2])
+
+    def test_edge_outside_vertices_rejected(self):
+        with pytest.raises(UnknownGeneError):
+            ProbabilisticGraph([1, 2], {(1, 3): 0.5})
+
+    def test_probability_domain(self):
+        with pytest.raises(ValidationError):
+            ProbabilisticGraph([1, 2], {(1, 2): 1.5})
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValidationError):
+            ProbabilisticGraph([1, 2], {(1, 2): 0.5, (2, 1): 0.6})
+
+    def test_missing_edge_lookup_raises(self, triangle):
+        with pytest.raises(UnknownGeneError):
+            ProbabilisticGraph([1, 2]).edge_probability(1, 2)
+
+    def test_edges_sorted(self, triangle):
+        keys = [key for key, _ in triangle.edges()]
+        assert keys == sorted(keys)
+
+
+class TestTopology:
+    def test_neighbors_and_degree(self, triangle):
+        assert triangle.neighbors(2) == frozenset({1, 3})
+        assert triangle.degree(2) == 2
+
+    def test_unknown_gene_neighbors(self, triangle):
+        with pytest.raises(UnknownGeneError):
+            triangle.neighbors(99)
+
+    def test_highest_degree_gene(self):
+        star = ProbabilisticGraph(
+            [0, 1, 2, 3], {(0, 1): 0.5, (0, 2): 0.5, (0, 3): 0.5}
+        )
+        assert star.highest_degree_gene() == 0
+
+    def test_highest_degree_tie_breaks_to_smallest_id(self):
+        path = ProbabilisticGraph([5, 7], {(5, 7): 0.5})
+        assert path.highest_degree_gene() == 5
+
+    def test_highest_degree_empty_raises(self):
+        with pytest.raises(ValidationError):
+            ProbabilisticGraph([]).highest_degree_gene()
+
+    def test_connectivity(self, triangle):
+        assert triangle.is_connected()
+        assert not ProbabilisticGraph([1, 2]).is_connected()
+        assert ProbabilisticGraph([1]).is_connected()
+        assert not ProbabilisticGraph([]).is_connected()
+
+
+class TestProbabilitySemantics:
+    def test_appearance_probability_is_product(self, triangle):
+        p = triangle.appearance_probability([(1, 2), (2, 3)])
+        assert p == pytest.approx(0.9 * 0.8)
+
+    def test_empty_edge_set_probability_one(self, triangle):
+        assert triangle.appearance_probability([]) == 1.0
+
+    def test_possible_worlds_probabilities_sum_to_one(self, triangle):
+        total = sum(w.probability for w in triangle.possible_worlds())
+        assert total == pytest.approx(1.0)
+
+    def test_world_count(self, triangle):
+        assert sum(1 for _ in triangle.possible_worlds()) == 8
+
+    def test_appearance_matches_possible_world_mass(self, triangle):
+        """Eq. 3 equals the total mass of worlds containing the edges."""
+        for edges in ([(1, 2)], [(1, 2), (2, 3)], [(1, 2), (2, 3), (1, 3)]):
+            assert triangle.appearance_probability(edges) == pytest.approx(
+                triangle.world_containment_probability(edges)
+            )
+
+    def test_world_containment_zero_for_missing_edge(self):
+        g = ProbabilisticGraph([1, 2, 3], {(1, 2): 0.9})
+        assert g.world_containment_probability([(1, 3)]) == 0.0
+
+    def test_world_enumeration_capped(self):
+        genes = list(range(30))
+        edges = {(0, i): 0.5 for i in range(1, 25)}
+        g = ProbabilisticGraph(genes, edges)
+        with pytest.raises(ValidationError):
+            list(g.possible_worlds())
+
+
+class TestConversions:
+    def test_networkx_roundtrip(self, triangle):
+        back = ProbabilisticGraph.from_networkx(triangle.to_networkx())
+        assert back == triangle
+
+    def test_equality_and_hash(self, triangle):
+        clone = ProbabilisticGraph(
+            [3, 2, 1], {(2, 3): 0.8, (1, 3): 0.5, (1, 2): 0.9}
+        )
+        assert clone == triangle
+        assert hash(clone) == hash(triangle)
+
+    def test_inequality_on_probability(self, triangle):
+        other = ProbabilisticGraph(
+            [1, 2, 3], {(1, 2): 0.9, (2, 3): 0.8, (1, 3): 0.6}
+        )
+        assert other != triangle

@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for the index substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.index.bitvector import signature, signature_many, signatures_overlap
+from repro.index.mbr import MBR
+from repro.index.rstartree import RStarTree
+
+coords = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+
+
+def boxes(dim=3):
+    return st.tuples(
+        hnp.arrays(np.float64, dim, elements=coords),
+        hnp.arrays(np.float64, dim, elements=st.floats(0.0, 100.0)),
+    ).map(lambda t: MBR(t[0], t[0] + t[1]))
+
+
+class TestMBRProperties:
+    @given(boxes(), boxes())
+    @settings(max_examples=80, deadline=None)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a)
+        assert u.contains(b)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=80, deadline=None)
+    def test_overlap_symmetric_and_bounded(self, a, b):
+        ab = a.overlap(b)
+        assert ab == pytest.approx(b.overlap(a), rel=1e-9, abs=1e-9)
+        assert 0.0 <= ab <= min(a.area(), b.area()) + 1e-6 * max(1.0, a.area())
+
+    @given(boxes(), boxes())
+    @settings(max_examples=80, deadline=None)
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= -1e-6
+
+    @given(boxes(), boxes())
+    @settings(max_examples=80, deadline=None)
+    def test_intersects_iff_positive_overlap_or_touching(self, a, b):
+        if a.overlap(b) > 0:
+            assert a.intersects(b)
+        if not a.intersects(b):
+            assert a.overlap(b) == 0.0
+
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+
+class TestBitvectorProperties:
+    @given(st.sets(st.integers(0, 10_000), max_size=40), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_no_false_negatives(self, members, probe):
+        sig = signature_many(members, 256)
+        if probe in members:
+            assert signatures_overlap(signature(probe, 256), sig)
+
+
+class TestRStarTreeProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 120), st.just(3)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_and_search_oracle(self, points):
+        tree = RStarTree(dim=3, max_entries=6)
+        for i, point in enumerate(points):
+            tree.insert(point, gene_id=i, source_id=i % 5, payload=i)
+        tree.finalize()
+        tree.check_invariants()
+        assert len(tree) == points.shape[0]
+
+        # Oracle check on a random-ish box derived from the data.
+        low = points.min(axis=0)
+        high = low + (points.max(axis=0) - low) * 0.6
+        box = MBR(low, high)
+        found = sorted(e.payload for e in tree.search(box))
+        expected = sorted(
+            int(i)
+            for i in range(points.shape[0])
+            if np.all(points[i] >= box.low) and np.all(points[i] <= box.high)
+        )
+        assert found == expected
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_degenerate_collinear_points(self, xs):
+        """Many duplicate / collinear points must not break splitting."""
+        tree = RStarTree(dim=2, max_entries=4)
+        for i, x in enumerate(xs):
+            tree.insert(np.array([float(x), 0.0]), i, 0, i)
+        tree.check_invariants()
+        assert len(tree) == len(xs)

@@ -1,0 +1,102 @@
+"""Unit tests for query extraction and workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.inference import EdgeProbabilityEstimator, infer_grn
+from repro.data.matrix import GeneFeatureMatrix
+from repro.data.queries import extract_query, generate_query_workload
+from repro.errors import ValidationError
+
+
+class TestExtractQuery:
+    def test_truth_mode_yields_connected_truth_subgraph(self, small_database):
+        matrix = next(m for m in small_database if len(m.truth_edges) >= 4)
+        query = extract_query(matrix, 3, rng=1, connectivity="truth")
+        assert query.num_genes == 3
+        assert query.num_samples == matrix.num_samples
+        # the chosen genes span a connected truth subgraph
+        adjacency = {g: set() for g in query.gene_ids}
+        for u, v in matrix.truth_edges:
+            if u in adjacency and v in adjacency:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+        seen = {query.gene_ids[0]}
+        stack = [query.gene_ids[0]]
+        while stack:
+            for nxt in adjacency[stack.pop()]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        assert seen == set(query.gene_ids)
+
+    def test_inferred_mode_yields_connected_inferred_graph(self, small_database):
+        estimator = EdgeProbabilityEstimator(n_samples=64, seed=11)
+        matrix = list(small_database)[0]
+        query = extract_query(
+            matrix, 3, rng=2, connectivity="inferred",
+            threshold=0.5, estimator=estimator,
+        )
+        graph = infer_grn(query.values, query.gene_ids, 0.5, estimator)
+        assert graph.is_connected()
+
+    def test_query_columns_copy_source_data(self, small_database):
+        matrix = list(small_database)[0]
+        query = extract_query(matrix, 3, rng=3, connectivity="correlation",
+                              threshold=0.0)
+        for gene in query.gene_ids:
+            np.testing.assert_array_equal(query.column(gene), matrix.column(gene))
+
+    def test_nq_too_large(self, small_database):
+        matrix = list(small_database)[0]
+        with pytest.raises(ValidationError):
+            extract_query(matrix, matrix.num_genes + 1, rng=1)
+
+    def test_nq_too_small(self, small_database):
+        with pytest.raises(ValidationError):
+            extract_query(list(small_database)[0], 1, rng=1)
+
+    def test_bad_connectivity(self, small_database):
+        with pytest.raises(ValidationError):
+            extract_query(list(small_database)[0], 3, rng=1, connectivity="psychic")
+
+    def test_unreachable_component_raises(self, rng):
+        # Independent noise at a sky-high correlation threshold: no edges.
+        matrix = GeneFeatureMatrix(rng.normal(size=(30, 6)), list(range(6)), 0)
+        with pytest.raises(ValidationError):
+            extract_query(matrix, 4, rng=1, connectivity="correlation",
+                          threshold=0.999)
+
+
+class TestWorkload:
+    def test_count_and_sizes(self, small_database):
+        workload = generate_query_workload(small_database, n_q=3, count=4, rng=5)
+        assert len(workload) == 4
+        assert all(q.num_genes == 3 for q in workload)
+
+    def test_queries_come_from_database_sources(self, small_database):
+        workload = generate_query_workload(small_database, n_q=3, count=4, rng=5)
+        for query in workload:
+            source = small_database.get(query.source_id)
+            assert set(query.gene_ids) <= set(source.gene_ids)
+
+    def test_deterministic(self, small_database):
+        a = generate_query_workload(small_database, n_q=3, count=3, rng=5)
+        b = generate_query_workload(small_database, n_q=3, count=3, rng=5)
+        for qa, qb in zip(a, b):
+            assert qa.source_id == qb.source_id
+            assert qa.gene_ids == qb.gene_ids
+
+    def test_impossible_workload_raises(self, small_database):
+        with pytest.raises(ValidationError):
+            generate_query_workload(
+                small_database, n_q=3, count=2, rng=5,
+                connectivity="correlation", threshold=0.9999,
+                max_attempts_factor=2,
+            )
+
+    def test_count_domain(self, small_database):
+        with pytest.raises(ValidationError):
+            generate_query_workload(small_database, n_q=3, count=0)

@@ -1,0 +1,144 @@
+"""Unit tests for permutation sampling, Lemma 2 and expected distances."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.randomization import (
+    MAX_EXACT_LENGTH,
+    content_seed,
+    default_rng,
+    enumerate_permutation_distances,
+    expected_randomized_distance_jensen,
+    expected_randomized_distance_mc,
+    expected_squared_randomized_distance,
+    lemma2_sample_size,
+    sample_permutation_distances,
+)
+from repro.core.standardize import standardize_vector
+from repro.errors import ValidationError
+
+
+class TestLemma2:
+    def test_formula(self):
+        # S >= 3/eps^2 * ln(2/delta)
+        assert lemma2_sample_size(0.1, 0.05) == math.ceil(
+            3.0 / 0.01 * math.log(2.0 / 0.05)
+        )
+
+    def test_monotone_in_epsilon(self):
+        assert lemma2_sample_size(0.05, 0.1) > lemma2_sample_size(0.2, 0.1)
+
+    def test_monotone_in_delta(self):
+        assert lemma2_sample_size(0.1, 0.01) > lemma2_sample_size(0.1, 0.2)
+
+    @pytest.mark.parametrize("eps,delta", [(0.0, 0.1), (1.0, 0.1), (0.1, 0.0), (0.1, 1.0)])
+    def test_domain(self, eps, delta):
+        with pytest.raises(ValidationError):
+            lemma2_sample_size(eps, delta)
+
+
+class TestDefaultRng:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(5)
+        assert default_rng(gen) is gen
+
+    def test_seed_coercion_is_deterministic(self):
+        assert default_rng(5).integers(1 << 30) == default_rng(5).integers(1 << 30)
+
+
+class TestContentSeed:
+    def test_deterministic(self, rng):
+        x = rng.normal(size=12)
+        assert content_seed(x) == content_seed(x.copy())
+
+    def test_differs_for_different_vectors(self, rng):
+        x = rng.normal(size=12)
+        assert content_seed(x) != content_seed(x + 1e-9)
+
+    def test_accepts_non_contiguous(self, rng):
+        m = rng.normal(size=(6, 4))
+        col = m[:, 2]
+        assert content_seed(col) == content_seed(np.ascontiguousarray(col))
+
+
+class TestSamplePermutationDistances:
+    def test_shape_and_non_negative(self, rng):
+        x, y = rng.normal(size=(2, 10))
+        d = sample_permutation_distances(x, y, 50, rng)
+        assert d.shape == (50,)
+        assert np.all(d >= 0.0)
+
+    def test_samples_within_exact_population(self, rng):
+        x = standardize_vector(rng.normal(size=5))
+        y = standardize_vector(rng.normal(size=5))
+        population = set(np.round(enumerate_permutation_distances(x, y), 9))
+        sampled = np.round(sample_permutation_distances(x, y, 200, rng), 9)
+        assert set(sampled) <= population
+
+    def test_norm_preserved_by_permutation(self, rng):
+        # dist^2 = ||x||^2 + ||y||^2 - 2 dot ; permutation keeps ||y||.
+        x = np.zeros(8)
+        y = rng.normal(size=8)
+        d = sample_permutation_distances(x, y, 30, rng)
+        np.testing.assert_allclose(d, np.linalg.norm(y), atol=1e-9)
+
+    def test_invalid_sample_count(self, rng):
+        with pytest.raises(ValidationError):
+            sample_permutation_distances(np.zeros(4), np.ones(4), 0, rng)
+
+
+class TestEnumeratePermutationDistances:
+    def test_count_is_factorial(self, rng):
+        x, y = rng.normal(size=(2, 5))
+        assert enumerate_permutation_distances(x, y).shape == (math.factorial(5),)
+
+    def test_length_cap(self, rng):
+        x, y = rng.normal(size=(2, MAX_EXACT_LENGTH + 1))
+        with pytest.raises(ValidationError):
+            enumerate_permutation_distances(x, y)
+
+    def test_identity_permutation_included(self, rng):
+        x, y = rng.normal(size=(2, 4))
+        observed = float(np.linalg.norm(x - y))
+        all_d = enumerate_permutation_distances(x, y)
+        assert np.any(np.isclose(all_d, observed))
+
+
+class TestExpectedDistances:
+    def test_closed_form_squared_expectation_matches_enumeration(self, rng):
+        x = rng.normal(size=6)
+        pivot = rng.normal(size=6)
+        exact = float(np.mean(enumerate_permutation_distances(pivot, x) ** 2))
+        assert expected_squared_randomized_distance(x, pivot) == pytest.approx(
+            exact, rel=1e-9
+        )
+
+    def test_jensen_upper_bounds_exact_expectation(self, rng):
+        for _ in range(10):
+            x = rng.normal(size=6)
+            pivot = rng.normal(size=6)
+            exact_mean = float(np.mean(enumerate_permutation_distances(pivot, x)))
+            assert expected_randomized_distance_jensen(x, pivot) >= exact_mean - 1e-12
+
+    def test_jensen_is_sqrt_2l_for_standardized(self, rng):
+        x = standardize_vector(rng.normal(size=20))
+        pivot = standardize_vector(rng.normal(size=20))
+        assert expected_randomized_distance_jensen(x, pivot) == pytest.approx(
+            math.sqrt(40.0)
+        )
+
+    def test_mc_estimate_close_to_exact(self, rng):
+        x = rng.normal(size=6)
+        pivot = rng.normal(size=6)
+        exact_mean = float(np.mean(enumerate_permutation_distances(pivot, x)))
+        mc = expected_randomized_distance_mc(x, pivot, n_samples=4000, rng=rng)
+        assert mc == pytest.approx(exact_mean, rel=0.05)
+
+    def test_mc_below_or_near_jensen(self, rng):
+        x, pivot = rng.normal(size=(2, 15))
+        mc = expected_randomized_distance_mc(x, pivot, n_samples=500, rng=rng)
+        assert mc <= expected_randomized_distance_jensen(x, pivot) * 1.02

@@ -1,0 +1,96 @@
+"""Unit tests for ROC evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.roc import ROCCurve, ROCPoint, default_thresholds, roc_curve_from_scores
+
+
+def perfect_scores(n, truth, ids):
+    """Score matrix giving 1.0 to truth edges, 0.0 elsewhere."""
+    idx = {g: i for i, g in enumerate(ids)}
+    scores = np.zeros((n, n))
+    for u, v in truth:
+        scores[idx[u], idx[v]] = scores[idx[v], idx[u]] = 1.0
+    return scores
+
+
+class TestRocCurve:
+    def test_perfect_classifier_hits_corner(self):
+        ids = [0, 1, 2, 3]
+        truth = {(0, 1), (2, 3)}
+        scores = perfect_scores(4, truth, ids)
+        curve = roc_curve_from_scores(scores, ids, truth, label="perfect")
+        # at threshold 0.5: TPR=1, FPR=0
+        mid = [p for p in curve.points if abs(p.threshold - 0.5) < 1e-9][0]
+        assert mid.tpr == 1.0
+        assert mid.fpr == 0.0
+        assert curve.auc() == pytest.approx(1.0)
+
+    def test_inverted_classifier_poor_auc(self):
+        ids = [0, 1, 2, 3]
+        truth = {(0, 1)}
+        scores = 1.0 - perfect_scores(4, truth, ids)
+        np.fill_diagonal(scores, 0.0)
+        curve = roc_curve_from_scores(scores, ids, truth)
+        assert curve.auc() < 0.5
+
+    def test_monotone_in_threshold(self, rng):
+        ids = list(range(10))
+        scores = rng.random((10, 10))
+        scores = (scores + scores.T) / 2
+        np.fill_diagonal(scores, 0.0)
+        truth = {(0, 1), (2, 3), (4, 5)}
+        curve = roc_curve_from_scores(scores, ids, truth)
+        fprs = [p.fpr for p in curve.points]
+        tprs = [p.tpr for p in curve.points]
+        assert fprs == sorted(fprs, reverse=True)
+        assert tprs == sorted(tprs, reverse=True)
+
+    def test_random_scores_auc_near_half(self, rng):
+        n = 40
+        ids = list(range(n))
+        scores = rng.random((n, n))
+        scores = (scores + scores.T) / 2
+        np.fill_diagonal(scores, 0.0)
+        truth = {(2 * i, 2 * i + 1) for i in range(12)}
+        curve = roc_curve_from_scores(scores, ids, truth)
+        assert 0.3 < curve.auc() < 0.7
+
+    def test_tpr_at_fpr(self):
+        curve = ROCCurve(
+            "x",
+            (
+                ROCPoint(0.1, 0.5, 0.9),
+                ROCPoint(0.5, 0.08, 0.7),
+                ROCPoint(0.9, 0.01, 0.3),
+            ),
+        )
+        assert curve.tpr_at_fpr(0.1) == 0.7
+        assert curve.tpr_at_fpr(0.001) == 0.0
+
+    def test_empty_truth_rejected(self, rng):
+        scores = np.zeros((4, 4))
+        with pytest.raises(ValidationError):
+            roc_curve_from_scores(scores, [0, 1, 2, 3], set())
+
+    def test_complete_truth_rejected(self):
+        ids = [0, 1, 2]
+        truth = {(0, 1), (1, 2), (0, 2)}
+        with pytest.raises(ValidationError):
+            roc_curve_from_scores(np.zeros((3, 3)), ids, truth)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            roc_curve_from_scores(np.zeros((3, 3)), [0, 1], {(0, 1)})
+
+    def test_default_thresholds(self):
+        t = default_thresholds(0.01)
+        assert t[0] == 0.0
+        assert t[-1] == pytest.approx(1.0)
+        assert len(t) == 101
+        with pytest.raises(ValidationError):
+            default_thresholds(0.0)

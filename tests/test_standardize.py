@@ -1,0 +1,129 @@
+"""Unit tests for vector/matrix standardization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.standardize import (
+    is_standardized,
+    standardize_matrix,
+    standardize_vector,
+    validate_same_length,
+)
+from repro.errors import DegenerateVectorError, DimensionMismatchError
+
+
+class TestStandardizeVector:
+    def test_zero_mean_unit_variance(self, rng):
+        x = rng.normal(5.0, 3.0, size=40)
+        z = standardize_vector(x)
+        assert abs(z.mean()) < 1e-12
+        assert abs(np.mean(z * z) - 1.0) < 1e-12
+
+    def test_squared_norm_equals_length(self, rng):
+        x = rng.normal(size=17)
+        z = standardize_vector(x)
+        assert float(z @ z) == pytest.approx(17.0)
+
+    def test_idempotent(self, rng):
+        z = standardize_vector(rng.normal(size=25))
+        np.testing.assert_allclose(standardize_vector(z), z, atol=1e-12)
+
+    def test_affine_invariance(self, rng):
+        x = rng.normal(size=30)
+        np.testing.assert_allclose(
+            standardize_vector(3.5 * x + 11.0), standardize_vector(x), atol=1e-9
+        )
+
+    def test_negative_scale_flips_sign(self, rng):
+        x = rng.normal(size=30)
+        np.testing.assert_allclose(
+            standardize_vector(-x), -standardize_vector(x), atol=1e-12
+        )
+
+    def test_constant_vector_rejected(self):
+        with pytest.raises(DegenerateVectorError):
+            standardize_vector(np.full(10, 3.0))
+
+    def test_nan_rejected(self):
+        x = np.array([1.0, 2.0, np.nan, 4.0])
+        with pytest.raises(DegenerateVectorError):
+            standardize_vector(x)
+
+    def test_inf_rejected(self):
+        x = np.array([1.0, np.inf, 3.0])
+        with pytest.raises(DegenerateVectorError):
+            standardize_vector(x)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            standardize_vector(np.ones((3, 3)))
+
+    def test_single_element_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            standardize_vector(np.array([1.0]))
+
+    def test_returns_float64(self):
+        z = standardize_vector(np.array([1, 2, 3], dtype=np.int32))
+        assert z.dtype == np.float64
+
+
+class TestStandardizeMatrix:
+    def test_columns_standardized(self, rng):
+        m = rng.normal(2.0, 4.0, size=(12, 5))
+        z = standardize_matrix(m)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(np.mean(z * z, axis=0), 1.0, atol=1e-12)
+
+    def test_matches_per_column_vector_standardization(self, rng):
+        m = rng.normal(size=(9, 4))
+        z = standardize_matrix(m)
+        for col in range(4):
+            np.testing.assert_allclose(
+                z[:, col], standardize_vector(m[:, col]), atol=1e-10
+            )
+
+    def test_constant_column_named_in_error(self, rng):
+        m = rng.normal(size=(8, 3))
+        m[:, 1] = 7.0
+        with pytest.raises(DegenerateVectorError, match=r"\[1\]"):
+            standardize_matrix(m)
+
+    def test_single_row_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            standardize_matrix(np.ones((1, 4)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            standardize_matrix(np.ones(5))
+
+    def test_non_finite_rejected(self, rng):
+        m = rng.normal(size=(6, 3))
+        m[2, 2] = np.inf
+        with pytest.raises(DegenerateVectorError):
+            standardize_matrix(m)
+
+
+class TestIsStandardized:
+    def test_true_after_standardize(self, rng):
+        assert is_standardized(standardize_vector(rng.normal(size=20)))
+
+    def test_false_for_raw(self, rng):
+        assert not is_standardized(rng.normal(10.0, 1.0, size=20))
+
+    def test_false_for_scalar_like(self):
+        assert not is_standardized(np.array([1.0]))
+
+
+class TestValidateSameLength:
+    def test_returns_length(self):
+        assert validate_same_length(np.zeros(7), np.ones(7)) == 7
+
+    def test_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            validate_same_length(np.zeros(3), np.zeros(4))
+
+    def test_2d_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            validate_same_length(np.zeros((2, 2)), np.zeros(4))

@@ -1,0 +1,249 @@
+"""Unit tests for the Section-6.1 linear-model generator and organisms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SyntheticConfig
+from repro.data.noise import add_noise, add_noise_to_database
+from repro.data.organisms import (
+    ORGANISMS,
+    OrganismSpec,
+    generate_gold_standard,
+    generate_organism_matrix,
+)
+from repro.data.synthetic import (
+    generate_database,
+    generate_expression,
+    generate_matrix,
+    generate_structure,
+    generate_weights,
+)
+from repro.errors import ValidationError
+
+
+class TestStructure:
+    def test_no_self_loops(self, rng):
+        mask = generate_structure(30, 1.0, rng)
+        assert not np.any(np.diag(mask))
+
+    def test_density_near_target(self, rng):
+        masks = [generate_structure(100, 2.0, np.random.default_rng(s)) for s in range(10)]
+        avg_in_degree = float(np.mean([m.sum(axis=0).mean() for m in masks]))
+        assert 1.5 < avg_in_degree < 2.5
+
+    def test_domain(self, rng):
+        with pytest.raises(ValidationError):
+            generate_structure(1, 1.0, rng)
+        with pytest.raises(ValidationError):
+            generate_structure(10, 0.0, rng)
+
+
+class TestWeights:
+    def test_uni_magnitudes(self, rng):
+        mask = generate_structure(40, 2.0, rng)
+        b = generate_weights(mask, "uni", rng)
+        nonzero = b[mask]
+        assert np.all((np.abs(nonzero) >= 0.5) & (np.abs(nonzero) <= 1.0))
+        assert np.all(b[~mask] == 0.0)
+
+    def test_uni_has_both_signs(self, rng):
+        mask = generate_structure(60, 3.0, rng)
+        nonzero = generate_weights(mask, "uni", rng)[mask]
+        assert np.any(nonzero > 0) and np.any(nonzero < 0)
+
+    def test_gau_folded_into_ranges(self, rng):
+        """Gau weights live in ~[-1,-0.5] u [0.5,1]: e' N(1,0.01) folded."""
+        mask = generate_structure(80, 3.0, rng)
+        nonzero = generate_weights(mask, "gau", rng)[mask]
+        # values cluster near +1 or (rarely) fold to near -1
+        assert np.all(np.abs(np.abs(nonzero) - 1.0) < 0.6)
+
+    def test_bad_kind(self, rng):
+        with pytest.raises(ValidationError):
+            generate_weights(np.zeros((3, 3), dtype=bool), "exp", rng)
+
+
+class TestExpression:
+    def test_shape(self, rng):
+        mask = generate_structure(20, 1.0, rng)
+        b = generate_weights(mask, "uni", rng)
+        m = generate_expression(b, 15, 0.01, rng)
+        assert m.shape == (15, 20)
+
+    def test_solves_linear_system(self, rng):
+        """M (I - B) = E by construction: verify the residual is noise-like."""
+        n = 10
+        mask = generate_structure(n, 1.0, rng)
+        b = generate_weights(mask, "uni", rng)
+        m = generate_expression(b, 200, 0.01, np.random.default_rng(5))
+        e = m @ (np.eye(n) - b)
+        assert float(np.std(e)) == pytest.approx(0.1, rel=0.15)
+
+    def test_truth_edges_show_higher_correlation(self):
+        """Regulated pairs must correlate more than random pairs on average
+        -- otherwise no inference method could recover the network."""
+        config = SyntheticConfig(
+            genes_range=(30, 30), samples_range=(60, 60), gene_pool=60, seed=1
+        )
+        matrix = generate_matrix(config, 0, np.random.default_rng(1))
+        corr = np.abs(np.corrcoef(matrix.values.T))
+        idx = {g: i for i, g in enumerate(matrix.gene_ids)}
+        truth_vals = [corr[idx[u], idx[v]] for u, v in matrix.truth_edges]
+        n = matrix.num_genes
+        all_pairs = [
+            corr[i, j] for i in range(n) for j in range(i + 1, n)
+        ]
+        assert np.mean(truth_vals) > np.mean(all_pairs) + 0.1
+
+    def test_domain(self, rng):
+        with pytest.raises(ValidationError):
+            generate_expression(np.zeros((3, 3)), 2, 0.01, rng)
+        with pytest.raises(ValidationError):
+            generate_expression(np.zeros((3, 3)), 10, 0.0, rng)
+        with pytest.raises(ValidationError):
+            generate_expression(np.zeros((3, 4)), 10, 0.01, rng)
+
+
+class TestGenerateDatabase:
+    def test_sizes_within_config(self):
+        config = SyntheticConfig(
+            genes_range=(8, 12), samples_range=(6, 9), gene_pool=40, seed=2
+        )
+        db = generate_database(config, 10)
+        assert len(db) == 10
+        for m in db:
+            assert 8 <= m.num_genes <= 12
+            assert 6 <= m.num_samples <= 9
+            assert all(0 <= g < 40 for g in m.gene_ids)
+
+    def test_deterministic(self):
+        config = SyntheticConfig(
+            genes_range=(8, 12), samples_range=(6, 9), gene_pool=40, seed=2
+        )
+        a = generate_database(config, 5)
+        b = generate_database(config, 5)
+        for ma, mb in zip(a, b):
+            np.testing.assert_array_equal(ma.values, mb.values)
+            assert ma.gene_ids == mb.gene_ids
+
+    def test_prefix_property(self):
+        """Databases of different sizes share their common prefix."""
+        config = SyntheticConfig(
+            genes_range=(8, 12), samples_range=(6, 9), gene_pool=40, seed=2
+        )
+        small = generate_database(config, 3)
+        large = generate_database(config, 6)
+        for ms, ml in zip(small, large):
+            np.testing.assert_array_equal(ms.values, ml.values)
+
+    def test_gene_overlap_across_sources(self):
+        config = SyntheticConfig(
+            genes_range=(15, 20), samples_range=(6, 9), gene_pool=30, seed=2
+        )
+        db = generate_database(config, 8)
+        shared = [
+            g for g in db.gene_ids() if len(db.sources_containing(g)) >= 2
+        ]
+        assert len(shared) > 10  # overlap is what makes matching non-trivial
+
+    def test_count_domain(self):
+        with pytest.raises(ValidationError):
+            generate_database(SyntheticConfig(), 0)
+
+
+class TestOrganisms:
+    def test_specs_registered(self):
+        assert set(ORGANISMS) == {"ecoli", "saureus", "scerevisiae"}
+
+    def test_scaled_keeps_density(self):
+        spec = ORGANISMS["ecoli"].scaled(100)
+        density = ORGANISMS["ecoli"].edges / ORGANISMS["ecoli"].genes
+        assert spec.edges == pytest.approx(density * 100, abs=1.0)
+        assert spec.genes == 100
+
+    def test_gold_standard_size_and_validity(self, rng):
+        edges = generate_gold_standard(50, 30, rng)
+        assert len(edges) == 30
+        assert all(0 <= u < 50 and 0 <= v < 50 and u != v for u, v in edges)
+        # undirected-unique
+        keys = {tuple(sorted(e)) for e in edges}
+        assert len(keys) == 30
+
+    def test_gold_standard_hub_structure(self, rng):
+        edges = generate_gold_standard(100, 80, rng, regulator_fraction=0.1)
+        out_degree: dict[int, int] = {}
+        for reg, _t in edges:
+            out_degree[reg] = out_degree.get(reg, 0) + 1
+        assert max(out_degree.values()) >= 3  # hubs exist
+
+    def test_matrix_has_truth_and_shape(self):
+        spec = ORGANISMS["ecoli"].scaled(40)
+        m = generate_organism_matrix(spec, rng=np.random.default_rng(0))
+        assert m.num_genes == 40
+        assert len(m.truth_edges) > 0
+
+    def test_truth_edges_recoverable(self):
+        """Gold edges correlate above background (the ROC's premise)."""
+        spec = OrganismSpec(
+            name="test", genes=40, samples=120, edges=20,
+            paper_genes=40, paper_samples=120,
+        )
+        m = generate_organism_matrix(
+            spec, rng=np.random.default_rng(3), noisy_gene_fraction=0.0
+        )
+        corr = np.abs(np.corrcoef(m.values.T))
+        idx = {g: i for i, g in enumerate(m.gene_ids)}
+        truth_vals = [corr[idx[u], idx[v]] for u, v in m.truth_edges]
+        background = corr[np.triu_indices(40, k=1)]
+        assert np.mean(truth_vals) > np.mean(background) + 0.1
+
+    def test_gold_standard_domain(self, rng):
+        with pytest.raises(ValidationError):
+            generate_gold_standard(3, 1, rng)
+        with pytest.raises(ValidationError):
+            generate_gold_standard(10, 0, rng)
+        with pytest.raises(ValidationError):
+            generate_gold_standard(10, 100, rng)
+
+
+class TestNoise:
+    def test_noise_changes_values_preserves_labels(self, rng):
+        config = SyntheticConfig(
+            genes_range=(8, 10), samples_range=(6, 8), gene_pool=30, seed=4
+        )
+        m = generate_matrix(config, 0, rng)
+        noisy = add_noise(m, 0.3, rng)
+        assert noisy.gene_ids == m.gene_ids
+        assert noisy.truth_edges == m.truth_edges
+        assert not np.allclose(noisy.values, m.values)
+
+    def test_noise_std_matches(self, rng):
+        config = SyntheticConfig(
+            genes_range=(30, 30), samples_range=(60, 60), gene_pool=60, seed=4
+        )
+        m = generate_matrix(config, 0, rng)
+        noisy = add_noise(m, 0.5, np.random.default_rng(8))
+        delta = noisy.values - m.values
+        assert float(np.std(delta)) == pytest.approx(0.5, rel=0.1)
+
+    def test_zero_std_returns_same_object(self, rng):
+        config = SyntheticConfig(
+            genes_range=(8, 10), samples_range=(6, 8), gene_pool=30, seed=4
+        )
+        m = generate_matrix(config, 0, rng)
+        assert add_noise(m, 0.0) is m
+
+    def test_negative_std_rejected(self, rng):
+        config = SyntheticConfig(
+            genes_range=(8, 10), samples_range=(6, 8), gene_pool=30, seed=4
+        )
+        m = generate_matrix(config, 0, rng)
+        with pytest.raises(ValidationError):
+            add_noise(m, -0.1)
+
+    def test_database_noise(self, small_database):
+        noisy = add_noise_to_database(small_database, 0.3, rng=1)
+        assert len(noisy) == len(small_database)
+        assert noisy.source_ids == small_database.source_ids
