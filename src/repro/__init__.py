@@ -24,11 +24,13 @@ from .config import (
     PAPER_GRID,
     Defaults,
     EngineConfig,
+    InferenceConfig,
     ParameterGrid,
     SyntheticConfig,
 )
 from .adhoc import AdHocMatchEngine, FeatureCollection
 from .core.baseline import BaselineEngine, LinearScanEngine
+from .core.batch_inference import BatchInferenceEngine, EdgeProbabilityCache
 from .core.measure_engine import MeasureScanEngine
 from .core.measures import (
     MEASURES,
@@ -76,8 +78,11 @@ __all__ = [
     "PAPER_GRID",
     "Defaults",
     "EngineConfig",
+    "InferenceConfig",
     "ParameterGrid",
     "SyntheticConfig",
+    "BatchInferenceEngine",
+    "EdgeProbabilityCache",
     # graph model & inference
     "ProbabilisticGraph",
     "edge_key",

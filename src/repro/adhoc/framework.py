@@ -123,12 +123,23 @@ class AdHocMatchEngine:
         """
         return self._engine.query(query_collection.to_matrix(), gamma, alpha)
 
+    def infer_graph(self, collection: FeatureCollection, gamma: float):
+        """The collection's ad-hocly inferred similarity graph at ``gamma``.
+
+        Exposes the batched graph-inference step on its own -- the
+        "inference" half of the framework without the "matching" half --
+        so callers can materialize, inspect or post-process an inferred
+        graph directly (e.g. scene-transition graphs of one video).
+        """
+        return self._engine.infer_query_graph(collection.to_matrix(), gamma)
+
     def stats(self) -> dict[str, float]:
-        """Index statistics (size, pages, build time)."""
+        """Index + inference-cache statistics (size, pages, build time)."""
         engine = self._engine
         return {
             "collections": float(len(engine.database)),
             "items": float(engine.database.total_genes()),
             "index_pages": float(engine.pages.num_pages),
             "build_seconds": engine.build_seconds,
+            **engine.inference_stats(),
         }

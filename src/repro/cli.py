@@ -52,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
     itime = sub.add_parser("inference-time", help="Fig. 5(b): inference wall-clock")
     itime.add_argument("--sizes", type=int, nargs="+", default=[50, 100, 150, 200])
     itime.add_argument("--seed", type=int, default=7)
+    itime.add_argument("--mc-samples", type=int, default=200)
+    itime.add_argument("--workers", type=int, default=0,
+                       help="process-pool workers for batched inference")
+    itime.add_argument("--batch-size", type=int, default=32,
+                       help="columns per permutation-block GEMM")
+    itime.add_argument("--no-cache", action="store_true",
+                       help="disable the edge-probability cache")
+    itime.add_argument("--no-sequential", action="store_true",
+                       help="skip the per-pair sequential reference timing")
 
     vsb = sub.add_parser("vs-baseline", help="Fig. 6: IM-GRN vs Baseline")
     vsb.add_argument("--n-matrices", type=int, default=60)
@@ -134,7 +143,13 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if name == "inference-time":
         result = experiments.inference_time(
-            sizes=tuple(args.sizes), seed=args.seed
+            sizes=tuple(args.sizes),
+            seed=args.seed,
+            mc_samples=args.mc_samples,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            cache=not args.no_cache,
+            measure_sequential=not args.no_sequential,
         )
     elif name == "vs-baseline":
         result = experiments.vs_baseline(

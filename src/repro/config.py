@@ -26,6 +26,7 @@ __all__ = [
     "ParameterGrid",
     "Defaults",
     "EngineConfig",
+    "InferenceConfig",
     "SyntheticConfig",
     "PAPER_GRID",
     "DEFAULTS",
@@ -85,6 +86,56 @@ DEFAULTS = Defaults()
 
 
 @dataclass(frozen=True)
+class InferenceConfig:
+    """Knobs of the batched edge-probability engine.
+
+    Controls *how* edge probabilities are computed (batching, caching,
+    parallelism) without ever changing *what* is computed: every setting
+    of these knobs yields the same probabilities for the same data and
+    estimator seed (see :mod:`repro.core.batch_inference`).
+
+    Attributes
+    ----------
+    batch_size:
+        Number of gene columns whose permutation blocks are stacked into
+        one matrix multiply. Larger batches amortize more BLAS calls at
+        the cost of a ``batch_size * n_samples x n`` score buffer.
+    workers:
+        ``ProcessPoolExecutor`` worker count for all-pairs inference.
+        ``0`` or ``1`` keeps everything in-process (the default; worker
+        processes only pay off for large matrices).
+    cache:
+        Enable the content-addressed edge-probability cache. Safe to
+        share across matrices and queries: keys are derived from the
+        standardized column contents plus the (gamma-independent)
+        estimator parameters.
+    cache_size:
+        Maximum number of cached pair probabilities (LRU eviction).
+    """
+
+    batch_size: int = 32
+    workers: int = 0
+    cache: bool = True
+    cache_size: int = 262_144
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValidationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.workers < 0:
+            raise ValidationError(f"workers must be >= 0, got {self.workers}")
+        if self.cache_size < 1:
+            raise ValidationError(
+                f"cache_size must be >= 1, got {self.cache_size}"
+            )
+
+    def with_(self, **changes: object) -> "InferenceConfig":
+        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Knobs of :class:`repro.core.query.IMGRNEngine`.
 
@@ -112,6 +163,9 @@ class EngineConfig:
         R*-tree node fan-out (one node == one page for I/O accounting).
     seed:
         Seed for every stochastic component of the engine.
+    inference:
+        Batching/caching/parallelism knobs of the edge-probability engine
+        (:class:`InferenceConfig`); never changes the computed values.
     """
 
     num_pivots: int = DEFAULTS.num_pivots
@@ -126,6 +180,7 @@ class EngineConfig:
     anchor_strategy: str = "highest_degree"
     rstar_max_entries: int = 16
     seed: int = 7
+    inference: InferenceConfig = InferenceConfig()
 
     def __post_init__(self) -> None:
         if self.num_pivots < 1:

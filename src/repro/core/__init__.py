@@ -1,11 +1,19 @@
 """Core IM-GRN machinery: inference, pruning, embedding, query processing."""
 
+from .batch_inference import (
+    BatchInferenceEngine,
+    EdgeProbabilityCache,
+    standardize_columns,
+)
 from .inference import EdgeProbabilityEstimator, infer_grn
 from .matching import Embedding, find_embeddings, matches
 from .probgraph import ProbabilisticGraph, edge_key
 from .query import IMGRNAnswer, IMGRNEngine, IMGRNResult
 
 __all__ = [
+    "BatchInferenceEngine",
+    "EdgeProbabilityCache",
+    "standardize_columns",
     "EdgeProbabilityEstimator",
     "infer_grn",
     "Embedding",

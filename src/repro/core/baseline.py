@@ -26,6 +26,7 @@ from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import IndexNotBuiltError, ValidationError
 from ..eval.counters import QueryStats
+from .batch_inference import BatchInferenceEngine, standardize_columns
 from .inference import EdgeProbabilityEstimator
 from .matching import Embedding, best_embedding
 from .probgraph import ProbabilisticGraph, edge_key
@@ -62,6 +63,9 @@ class BaselineEngine:
             delta=self.config.delta,
             seed=self.config.seed,
         )
+        self._inference = BatchInferenceEngine(
+            self._estimator, self.config.inference
+        )
         self._store: dict[int, np.ndarray] | None = None
         self.precompute_seconds: float = 0.0
         self.storage_bytes: int = 0
@@ -84,13 +88,7 @@ class BaselineEngine:
         total_pairs = 0
         for matrix in self.database:
             n = matrix.num_genes
-            probs = np.zeros((n, n), dtype=np.float64)
-            for s in range(n):
-                for t in range(s + 1, n):
-                    probs[s, t] = self._estimator.pair_probability(
-                        matrix.values[:, s], matrix.values[:, t]
-                    )
-            probs += probs.T
+            probs = self._inference.probability_matrix(matrix.values)
             store[matrix.source_id] = probs
             total_pairs += n * (n - 1) // 2
         self._store = store
@@ -121,7 +119,8 @@ class BaselineEngine:
             raise ValidationError(f"alpha must be in [0,1), got {alpha}")
         stats = QueryStats()
         started = time.perf_counter()
-        query_graph = _infer_query_graph(query_matrix, gamma, self._estimator)
+        query_graph = _infer_query_graph(query_matrix, gamma, self._inference)
+        stats.inference_seconds = time.perf_counter() - started
         answers: list[IMGRNAnswer] = []
         for matrix in self.database:
             probs = self._store[matrix.source_id]
@@ -174,6 +173,9 @@ class LinearScanEngine:
             delta=self.config.delta,
             seed=self.config.seed,
         )
+        self._inference = BatchInferenceEngine(
+            self._estimator, self.config.inference
+        )
         self._standardized: dict[int, np.ndarray] = {}
 
     @property
@@ -200,7 +202,8 @@ class LinearScanEngine:
             raise ValidationError(f"alpha must be in [0,1), got {alpha}")
         stats = QueryStats()
         started = time.perf_counter()
-        query_graph = _infer_query_graph(query_matrix, gamma, self._estimator)
+        query_graph = _infer_query_graph(query_matrix, gamma, self._inference)
+        stats.inference_seconds = time.perf_counter() - started
         query_edges = [key for key, _p in query_graph.edges()]
         candidates: list[int] = []
         for matrix in self.database:
@@ -245,7 +248,7 @@ class LinearScanEngine:
             probability = 1.0
             matched = True
             for u, v in query_edges:
-                p = self._estimator.pair_probability(
+                p = self._inference.pair_probability(
                     matrix.column(u), matrix.column(v)
                 )
                 if p <= gamma:
@@ -268,18 +271,22 @@ class LinearScanEngine:
 def _infer_query_graph(
     query_matrix: GeneFeatureMatrix,
     gamma: float,
-    estimator: EdgeProbabilityEstimator,
+    inference: BatchInferenceEngine,
 ) -> ProbabilisticGraph:
-    """Shared query-graph inference for the competitor engines."""
+    """Shared query-graph inference for the competitor engines (batched)."""
     if not 0.0 <= gamma < 1.0:
         raise ValidationError(f"gamma must be in [0,1), got {gamma}")
     ids = query_matrix.gene_ids
+    std = standardize_columns(query_matrix.values)
+    pairs = [
+        (s, t) for s in range(len(ids)) for t in range(s + 1, len(ids))
+    ]
+    probabilities = inference.pair_block_probabilities(
+        std, pairs, raw=query_matrix.values
+    )
     edges: dict[tuple[int, int], float] = {}
-    for s in range(len(ids)):
-        for t in range(s + 1, len(ids)):
-            p = estimator.pair_probability(
-                query_matrix.values[:, s], query_matrix.values[:, t]
-            )
-            if p > gamma:
-                edges[(ids[s], ids[t])] = p
+    for s, t in pairs:
+        p = probabilities[(s, t)]
+        if p > gamma:
+            edges[(ids[s], ids[t])] = p
     return ProbabilisticGraph(ids, edges)

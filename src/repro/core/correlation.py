@@ -17,10 +17,14 @@ their own centering, so they are safe to call directly on database columns.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ..errors import DegenerateVectorError, DimensionMismatchError
 from .standardize import validate_same_length
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "pearson",
@@ -129,8 +133,32 @@ def partial_correlation_matrix(matrix: np.ndarray, shrinkage: float = 1e-3) -> n
     try:
         precision = np.linalg.inv(shrunk)
     except np.linalg.LinAlgError:
-        precision = np.linalg.pinv(shrunk)
-    diag = np.sqrt(np.abs(np.diag(precision)))
+        logger.warning(
+            "correlation matrix is singular (n=%d, shrinkage=%g); "
+            "falling back to pseudo-inverse",
+            n,
+            shrinkage,
+        )
+        precision = np.linalg.pinv(shrunk, hermitian=True)
+    diag_vals = np.diag(precision).copy()
+    if np.any(diag_vals <= 0.0):
+        # A valid precision matrix is positive (semi-)definite; a
+        # non-positive diagonal means inv() amplified ill-conditioning
+        # into a structurally wrong result. Recompute via the
+        # pseudo-inverse rather than masking the sign flip with abs().
+        logger.warning(
+            "precision matrix has non-positive diagonal entries at %s "
+            "(ill-conditioned inversion); recomputing with pinv",
+            np.flatnonzero(diag_vals <= 0.0).tolist(),
+        )
+        precision = np.linalg.pinv(shrunk, hermitian=True)
+        diag_vals = np.diag(precision).copy()
+        if np.any(diag_vals <= 0.0):
+            logger.warning(
+                "pseudo-inverse still has non-positive diagonal entries; "
+                "the affected partial correlations are reported as 0"
+            )
+    diag = np.sqrt(np.clip(diag_vals, 0.0, None))
     outer = np.outer(diag, diag)
     with np.errstate(divide="ignore", invalid="ignore"):
         pcor = -precision / outer
@@ -144,13 +172,17 @@ def correlation_from_distance(dist: float, length: int) -> float:
     """Invert the Appendix-B identity: ``cor = 1 - dist^2 / (2*l)``.
 
     Valid only for distances between *standardized* vectors of length
-    ``length``.
+    ``length``. The result is clamped to ``[-1, 1]``: a distance carrying
+    float overshoot near the ``2*sqrt(l)`` extreme would otherwise yield a
+    correlation below -1 (the mirror of the input clamp in
+    :func:`distance_from_correlation`).
     """
     if length < 2:
         raise DimensionMismatchError(f"length must be >= 2, got {length}")
     if dist < 0.0:
         raise DimensionMismatchError(f"distance must be >= 0, got {dist}")
-    return 1.0 - (dist * dist) / (2.0 * length)
+    cor = 1.0 - (dist * dist) / (2.0 * length)
+    return min(1.0, max(-1.0, cor))
 
 
 def distance_from_correlation(cor: float, length: int) -> float:

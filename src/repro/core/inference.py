@@ -31,7 +31,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import InferenceConfig
 from ..errors import ValidationError
+from .batch_inference import batched_probability_matrix
 from .correlation import absolute_pearson
 from .probgraph import ProbabilisticGraph
 from .randomization import (
@@ -40,7 +42,7 @@ from .randomization import (
     default_rng,
     lemma2_sample_size,
 )
-from .standardize import standardize_matrix, standardize_vector
+from .standardize import standardize_vector
 
 __all__ = [
     "EdgeProbabilityEstimator",
@@ -180,9 +182,11 @@ class EdgeProbabilityEstimator:
         ``"two_sided"`` (Eq. 1; the robust absolute-correlation test).
     seed:
         Base seed. The permutation stream of each estimate is keyed by
-        ``(seed, content of the randomized vector)``, so the same pair
-        yields bit-identical estimates in every code path (single-pair,
-        all-pairs matrix, baseline store) and in any evaluation order.
+        ``(seed, content of the *standardized* randomized vector)``, so
+        the same pair yields bit-identical estimates in every code path
+        (single-pair, all-pairs matrix, batched engine, baseline store)
+        and in any evaluation order -- and estimates are invariant to
+        per-column affine transforms, matching the measure itself.
     """
 
     n_samples: int | None = 200
@@ -204,30 +208,52 @@ class EdgeProbabilityEstimator:
     def pair_probability(self, x_s: np.ndarray, x_t: np.ndarray) -> float:
         """Edge probability for one vector pair (randomizes ``x_t``).
 
-        The permutation stream is keyed by ``x_t``'s content, matching
-        :func:`edge_probability_matrix` exactly, so a pair's probability is
-        the same whether estimated alone or inside an all-pairs sweep.
+        The permutation stream is keyed by the content of the standardized
+        ``x_t``, matching :func:`edge_probability_matrix` and the batched
+        engine exactly, so a pair's probability is the same whether
+        estimated alone or inside an all-pairs sweep.
         """
         x_t = np.asarray(x_t, dtype=np.float64)
         length = int(x_t.shape[0])
         if 0 < length <= min(self.exact_below, MAX_EXACT_LENGTH):
             return edge_probability_exact(x_s, x_t, self.semantics)
-        rng = np.random.default_rng((self.seed, content_seed(x_t)))
-        return edge_probability_distance(
-            x_s,
-            x_t,
-            n_samples=self.resolved_samples(),
-            rng=rng,
-            semantics=self.semantics,
-        )
+        xs = standardize_vector(np.asarray(x_s, dtype=np.float64))
+        xt = standardize_vector(x_t)
+        return self.sampled_probability_std(xs, xt)
 
-    def probability_matrix(self, matrix: np.ndarray) -> np.ndarray:
-        """All-pairs edge probabilities for the columns of ``matrix``."""
+    def sampled_probability_std(self, xs: np.ndarray, xt: np.ndarray) -> float:
+        """Monte-Carlo probability for one *already standardized* pair.
+
+        The shared scalar kernel: the permutation stream is derived from
+        ``(seed, content_seed(xt))``, which is what makes every execution
+        strategy (scalar, batched, cached, parallel) agree bit-for-bit.
+        """
+        rng = np.random.default_rng((self.seed, content_seed(xt)))
+        observed = float(xs @ xt)
+        permuted = rng.permuted(
+            np.tile(xt, (self.resolved_samples(), 1)), axis=1
+        )
+        sampled = permuted @ xs
+        if self.semantics == "one_sided":
+            return float(np.mean(sampled < observed))
+        return float(np.mean(np.abs(sampled) < abs(observed)))
+
+    def probability_matrix(
+        self, matrix: np.ndarray, inference: InferenceConfig | None = None
+    ) -> np.ndarray:
+        """All-pairs edge probabilities for the columns of ``matrix``.
+
+        ``inference`` tunes batching/parallelism only; the probabilities
+        are identical for every setting (and to the scalar path).
+        """
+        cfg = inference or InferenceConfig()
         return edge_probability_matrix(
             matrix,
             n_samples=self.resolved_samples(),
             seed=self.seed,
             semantics=self.semantics,
+            batch_size=cfg.batch_size,
+            workers=cfg.workers,
         )
 
 
@@ -236,11 +262,16 @@ def edge_probability_matrix(
     n_samples: int = 200,
     seed: int = 7,
     semantics: str = "one_sided",
+    batch_size: int = 32,
+    workers: int = 0,
 ) -> np.ndarray:
     """All-pairs edge probabilities for the columns of an ``l x n`` matrix.
 
     Vectorized over pairs: one permutation batch per column ``t`` scores
-    all ``s < t`` at once through a single matrix multiply.
+    all ``s < t`` at once, and ``batch_size`` columns share one matrix
+    multiply (see :mod:`repro.core.batch_inference`); ``workers > 1``
+    shards the columns over a process pool. Neither knob changes the
+    returned probabilities.
 
     Returns
     -------
@@ -253,25 +284,14 @@ def edge_probability_matrix(
     _check_semantics(semantics)
     if n_samples < 1:
         raise ValidationError(f"n_samples must be >= 1, got {n_samples}")
-    raw = np.asarray(matrix, dtype=np.float64)
-    std = standardize_matrix(raw)
-    n_genes = std.shape[1]
-    gram = std.T @ std  # observed dot products
-    result = np.zeros((n_genes, n_genes), dtype=np.float64)
-    for t in range(1, n_genes):
-        # Streams are keyed by column content (like pair_probability), so a
-        # gene's permutations do not depend on its position or the matrix.
-        rng = np.random.default_rng((seed, content_seed(raw[:, t])))
-        permuted = rng.permuted(np.tile(std[:, t], (n_samples, 1)), axis=1)
-        scores = permuted @ std[:, :t]  # scores[k, s] = X_s . perm_k(X_t)
-        if semantics == "one_sided":
-            result[:t, t] = np.mean(scores < gram[:t, t][np.newaxis, :], axis=0)
-        else:
-            result[:t, t] = np.mean(
-                np.abs(scores) < np.abs(gram[:t, t])[np.newaxis, :], axis=0
-            )
-    result += result.T
-    return result
+    return batched_probability_matrix(
+        matrix,
+        n_samples=n_samples,
+        seed=seed,
+        semantics=semantics,
+        batch_size=batch_size,
+        workers=workers,
+    )
 
 
 def infer_grn(
@@ -279,6 +299,7 @@ def infer_grn(
     gene_ids: tuple[int, ...] | list[int] | np.ndarray,
     gamma: float,
     estimator: EdgeProbabilityEstimator | None = None,
+    inference: InferenceConfig | None = None,
 ) -> ProbabilisticGraph:
     """Infer the probabilistic GRN of a feature matrix (Definitions 2-3).
 
@@ -297,6 +318,9 @@ def infer_grn(
         Ad-hoc inference threshold in ``[0, 1)``.
     estimator:
         Sampling policy; defaults to :class:`EdgeProbabilityEstimator()`.
+    inference:
+        Batching/parallelism knobs for the all-pairs sweep; the inferred
+        graph is identical for every setting (and the same seed).
     """
     if not 0.0 <= gamma < 1.0:
         raise ValidationError(f"gamma must be in [0,1), got {gamma}")
@@ -307,14 +331,13 @@ def infer_grn(
             f"matrix shape {arr.shape} does not match {len(ids)} gene IDs"
         )
     est = estimator or EdgeProbabilityEstimator()
-    probs = est.probability_matrix(arr)
-    edges: dict[tuple[int, int], float] = {}
-    n = len(ids)
-    for s in range(n):
-        for t in range(s + 1, n):
-            p = float(probs[s, t])
-            if p > gamma:
-                edges[(ids[s], ids[t])] = p
+    probs = est.probability_matrix(arr, inference=inference)
+    rows, cols = np.triu_indices(len(ids), k=1)
+    keep = probs[rows, cols] > gamma
+    edges = {
+        (ids[int(s)], ids[int(t)]): float(probs[s, t])
+        for s, t in zip(rows[keep], cols[keep])
+    }
     return ProbabilisticGraph(ids, edges)
 
 
@@ -362,11 +385,10 @@ def _threshold_score_graph(
         raise ValidationError(
             f"score matrix shape {scores.shape} does not match {len(ids)} genes"
         )
-    edges: dict[tuple[int, int], float] = {}
-    n = len(ids)
-    for s in range(n):
-        for t in range(s + 1, n):
-            score = float(scores[s, t])
-            if score > threshold:
-                edges[(ids[s], ids[t])] = min(score, 1.0)
+    rows, cols = np.triu_indices(len(ids), k=1)
+    keep = scores[rows, cols] > threshold
+    edges = {
+        (ids[int(s)], ids[int(t)]): min(float(scores[s, t]), 1.0)
+        for s, t in zip(rows[keep], cols[keep])
+    }
     return ProbabilisticGraph(ids, edges)

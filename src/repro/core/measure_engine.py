@@ -20,15 +20,19 @@ from __future__ import annotations
 import math
 import time
 
+import numpy as np
+
 from ..config import EngineConfig
 from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import IndexNotBuiltError, ValidationError
-from ..eval.counters import QueryStats
+from ..eval.counters import QueryStats, Stopwatch
+from .batch_inference import EdgeProbabilityCache
 from .matching import Embedding
 from .measures import MEASURES, ScoreFunction, randomized_measure_probability
 from .probgraph import ProbabilisticGraph
 from .query import IMGRNAnswer, IMGRNResult
+from .randomization import content_seed
 
 __all__ = ["MeasureScanEngine"]
 
@@ -65,10 +69,22 @@ class MeasureScanEngine:
         self.measure = measure
         self.config = config or EngineConfig()
         self._built = False
+        # Probabilities are content-addressable only for *named* measures:
+        # a user-supplied callable has no stable identity to key on.
+        inference = self.config.inference
+        self._cache: EdgeProbabilityCache | None = None
+        if inference.cache and isinstance(measure, str):
+            self._cache = EdgeProbabilityCache(inference.cache_size)
 
     @property
     def is_built(self) -> bool:
         return self._built
+
+    def inference_stats(self) -> dict[str, float]:
+        """Edge-probability cache counters (zero when caching is off)."""
+        if self._cache is None:
+            return {"cache_entries": 0.0, "cache_hits": 0.0, "cache_misses": 0.0}
+        return self._cache.stats()
 
     def build(self) -> float:
         """No index to build; kept for engine-interface symmetry."""
@@ -78,9 +94,27 @@ class MeasureScanEngine:
 
     def _pair_probability(self, x_s, x_t) -> float:
         samples = self.config.mc_samples or 100
-        return randomized_measure_probability(
-            x_s, x_t, self.measure, n_samples=samples
+        if self._cache is None:
+            return randomized_measure_probability(
+                x_s, x_t, self.measure, n_samples=samples
+            )
+        xs = np.asarray(x_s, dtype=np.float64)
+        xt = np.asarray(x_t, dtype=np.float64)
+        key = (
+            "measure",
+            self.measure,
+            content_seed(xs),
+            content_seed(xt),
+            samples,
         )
+        hit = self._cache.get(key)
+        if hit is not None:
+            return float(hit)  # type: ignore[arg-type]
+        value = randomized_measure_probability(
+            xs, xt, self.measure, n_samples=samples
+        )
+        self._cache.put(key, value)
+        return value
 
     def infer_query_graph(
         self, query_matrix: GeneFeatureMatrix, gamma: float
@@ -113,8 +147,10 @@ class MeasureScanEngine:
         stats = QueryStats()
         started = time.perf_counter()
         query_graph = self.infer_query_graph(query_matrix, gamma)
+        stats.inference_seconds = time.perf_counter() - started
         query_edges = [key for key, _p in query_graph.edges()]
         answers: list[IMGRNAnswer] = []
+        refine = Stopwatch()
         for matrix in self.database:
             stats.io_accesses += max(
                 1,
@@ -127,15 +163,16 @@ class MeasureScanEngine:
             stats.candidates += 1
             probability = 1.0
             matched = True
-            for u, v in query_edges:
-                p = self._pair_probability(matrix.column(u), matrix.column(v))
-                if p <= gamma:
-                    matched = False
-                    break
-                probability *= p
-                if probability <= alpha:
-                    matched = False
-                    break
+            with refine:
+                for u, v in query_edges:
+                    p = self._pair_probability(matrix.column(u), matrix.column(v))
+                    if p <= gamma:
+                        matched = False
+                        break
+                    probability *= p
+                    if probability <= alpha:
+                        matched = False
+                        break
             if matched:
                 mapping = tuple((g, g) for g in sorted(query_graph.gene_ids))
                 answers.append(
@@ -143,6 +180,7 @@ class MeasureScanEngine:
                         matrix.source_id, Embedding(mapping, probability), probability
                     )
                 )
-        stats.cpu_seconds = time.perf_counter() - started
+        stats.refine_seconds = refine.elapsed
+        stats.cpu_seconds = time.perf_counter() - started - refine.elapsed
         stats.answers = len(answers)
         return IMGRNResult(query_graph, answers, stats)

@@ -26,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..config import EngineConfig
+from ..config import EngineConfig, InferenceConfig
 from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import IndexNotBuiltError, ValidationError
@@ -96,7 +96,11 @@ def load_engine(path: str | Path) -> IMGRNEngine:
                 f"{path}: unsupported archive version "
                 f"{meta.get('format_version')!r}"
             )
-        config = EngineConfig(**meta["config"])
+        raw_config = dict(meta["config"])
+        if isinstance(raw_config.get("inference"), dict):
+            # asdict() flattened the nested dataclass on save.
+            raw_config["inference"] = InferenceConfig(**raw_config["inference"])
+        config = EngineConfig(**raw_config)
         database = GeneFeatureDatabase()
         embeddings: dict[int, EmbeddedMatrix] = {}
         for sid in meta["source_ids"]:

@@ -43,6 +43,7 @@ from ..index.invertedfile import SOURCE_SALT, InvertedBitVectorFile
 from ..index.node import Node
 from ..index.pagemanager import PageManager
 from ..index.rstartree import RStarTree
+from .batch_inference import BatchInferenceEngine, standardize_columns
 from .embedding import EmbeddedMatrix, embed_matrix
 from .inference import EdgeProbabilityEstimator
 from .matching import Embedding
@@ -125,6 +126,9 @@ class IMGRNEngine:
             delta=self.config.delta,
             seed=self.config.seed,
         )
+        self._inference = BatchInferenceEngine(
+            self._estimator, self.config.inference
+        )
 
     # ------------------------------------------------------------------
     # Build
@@ -132,6 +136,10 @@ class IMGRNEngine:
     @property
     def is_built(self) -> bool:
         return self.tree is not None
+
+    def inference_stats(self) -> dict[str, float]:
+        """Edge-probability cache counters of the batched inference engine."""
+        return self._inference.stats()
 
     def build(self, pivot_strategy: str = "cost_model", bulk: bool = False) -> float:
         """Embed every matrix, build the R*-tree and inverted file.
@@ -247,24 +255,29 @@ class IMGRNEngine:
         """Infer ``Q`` from ``M_Q`` with edge-inference pruning first.
 
         Pairs whose Markov upper bound is already ``<= gamma`` skip the
-        Monte-Carlo estimation entirely (Lemma 3); the rest get exact
-        (sampled) probabilities, and edges with ``p > gamma`` survive.
+        Monte-Carlo estimation entirely (Lemma 3); the rest are estimated
+        in one batched pass (one permutation block per surviving target
+        column, see :mod:`repro.core.batch_inference`), and edges with
+        ``p > gamma`` survive.
         """
         if not 0.0 <= gamma < 1.0:
             raise ValidationError(f"gamma must be in [0,1), got {gamma}")
-        std = standardize_matrix(query_matrix.values)
+        std = standardize_columns(query_matrix.values)
         ids = query_matrix.gene_ids
         length = std.shape[0]
         expected = math.sqrt(2.0 * length)  # Jensen bound, standardized vectors
-        edges: dict[tuple[int, int], float] = {}
+        survivors: list[tuple[int, int]] = []
         for s, t in itertools.combinations(range(len(ids)), 2):
             distance = float(np.linalg.norm(std[:, s] - std[:, t]))
             bound = markov_edge_upper_bound(distance, expected)
-            if edge_inference_prunable(bound, gamma):
-                continue
-            p = self._estimator.pair_probability(
-                query_matrix.values[:, s], query_matrix.values[:, t]
-            )
+            if not edge_inference_prunable(bound, gamma):
+                survivors.append((s, t))
+        probabilities = self._inference.pair_block_probabilities(
+            std, survivors, raw=query_matrix.values
+        )
+        edges: dict[tuple[int, int], float] = {}
+        for s, t in survivors:
+            p = probabilities[(s, t)]
             if p > gamma:
                 edges[(ids[s], ids[t])] = p
         return ProbabilisticGraph(ids, edges)
@@ -288,6 +301,7 @@ class IMGRNEngine:
         started = time.perf_counter()
 
         query_graph = self.infer_query_graph(query_matrix, gamma)
+        stats.inference_seconds = time.perf_counter() - started
         if query_graph.num_edges == 0:
             # Degenerate query: every edge-free query is contained (with
             # empty-product probability 1) in any matrix holding its genes.
@@ -635,7 +649,7 @@ class IMGRNEngine:
             probability = 1.0
             matched = True
             for u, v in query_edges:
-                p = self._estimator.pair_probability(
+                p = self._inference.pair_probability(
                     matrix.column(u), matrix.column(v)
                 )
                 if p <= gamma:  # the edge does not exist in G_i

@@ -25,6 +25,10 @@ class QueryStats:
         pruning), per the paper's "CPU time" definition.
     refine_seconds:
         Additional time spent refining candidates into final answers.
+    inference_seconds:
+        Time spent inferring edge probabilities (query-graph inference);
+        a sub-measure of ``cpu_seconds``, recorded separately so the
+        batched-inference speedup is observable per query.
     io_accesses:
         Number of page accesses (tree nodes read, plus simulated data
         pages for the baseline's pre-computed probabilities).
@@ -38,6 +42,7 @@ class QueryStats:
 
     cpu_seconds: float = 0.0
     refine_seconds: float = 0.0
+    inference_seconds: float = 0.0
     io_accesses: int = 0
     candidates: int = 0
     answers: int = 0
@@ -79,6 +84,7 @@ def aggregate_stats(stats: list[QueryStats]) -> dict[str, float]:
         return {
             "cpu_seconds": 0.0,
             "refine_seconds": 0.0,
+            "inference_seconds": 0.0,
             "io_accesses": 0.0,
             "candidates": 0.0,
             "answers": 0.0,
@@ -88,6 +94,7 @@ def aggregate_stats(stats: list[QueryStats]) -> dict[str, float]:
     return {
         "cpu_seconds": sum(s.cpu_seconds for s in stats) / count,
         "refine_seconds": sum(s.refine_seconds for s in stats) / count,
+        "inference_seconds": sum(s.inference_seconds for s in stats) / count,
         "io_accesses": sum(s.io_accesses for s in stats) / count,
         "candidates": sum(s.candidates for s in stats) / count,
         "answers": sum(s.answers for s in stats) / count,

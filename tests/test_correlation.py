@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.correlation import (
     absolute_correlation_matrix,
@@ -117,6 +121,28 @@ class TestPartialCorrelation:
         with pytest.raises(DimensionMismatchError):
             partial_correlation_matrix(rng.normal(size=(10, 3)), shrinkage=1.5)
 
+    def test_near_singular_warns_and_stays_bounded(self, rng, caplog):
+        # Duplicated columns (plus float noise far below the conditioning
+        # threshold) make the correlation matrix numerically singular; with
+        # shrinkage off, inv() either raises or returns a precision matrix
+        # whose diagonal goes non-positive. Either way the function must
+        # warn and fall back to the pseudo-inverse instead of silently
+        # flipping signs with abs().
+        x = rng.normal(size=40)
+        y = rng.normal(size=40)
+        m = np.column_stack([x, x + 1e-14 * rng.normal(size=40), y])
+        with caplog.at_level(logging.WARNING, logger="repro.core.correlation"):
+            p = partial_correlation_matrix(m, shrinkage=0.0)
+        assert caplog.records, "expected a warning about the ill-conditioned inversion"
+        assert np.all(np.isfinite(p))
+        assert np.all(np.abs(p) <= 1.0)
+        np.testing.assert_allclose(np.diag(p), 1.0)
+
+    def test_well_conditioned_does_not_warn(self, rng, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.core.correlation"):
+            partial_correlation_matrix(rng.normal(size=(60, 4)))
+        assert not caplog.records
+
 
 class TestDistanceIdentity:
     """The Appendix-B identity ``dist^2 = 2*l*(1 - cor)`` for z-scored data."""
@@ -147,3 +173,37 @@ class TestDistanceIdentity:
             correlation_from_distance(-0.1, 10)
         with pytest.raises(DimensionMismatchError):
             distance_from_correlation(0.5, 1)
+
+    def test_clamped_at_distance_overshoot(self):
+        # A distance just past 2*sqrt(l) (float overshoot of the maximum
+        # standardized distance) must not produce a correlation below -1.
+        for length in (2, 10, 100):
+            extreme = 2.0 * np.sqrt(float(length))
+            overshoot = np.nextafter(extreme, np.inf)
+            cor = correlation_from_distance(overshoot, length)
+            assert cor >= -1.0
+            assert correlation_from_distance(extreme * (1.0 + 1e-12), length) == -1.0
+
+    @given(
+        cor=st.floats(min_value=-1.0, max_value=1.0),
+        length=st.integers(min_value=2, max_value=512),
+    )
+    def test_roundtrip_property(self, cor, length):
+        dist = distance_from_correlation(cor, length)
+        back = correlation_from_distance(dist, length)
+        assert -1.0 <= back <= 1.0
+        assert back == pytest.approx(cor, abs=1e-9)
+
+    @given(
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        length=st.integers(min_value=2, max_value=512),
+    )
+    def test_distance_roundtrip_property(self, frac, length):
+        # dist -> cor -> dist across the whole valid range [0, 2*sqrt(l)],
+        # including the exact extremes (frac = 0 and 1).
+        dist = frac * 2.0 * np.sqrt(float(length))
+        cor = correlation_from_distance(dist, length)
+        assert -1.0 <= cor <= 1.0
+        assert distance_from_correlation(cor, length) == pytest.approx(
+            dist, abs=1e-6
+        )

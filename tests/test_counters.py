@@ -19,6 +19,14 @@ class TestQueryStats:
         stats = QueryStats(cpu_seconds=0.2, refine_seconds=0.1)
         assert stats.total_seconds == pytest.approx(0.3)
 
+    def test_inference_seconds_aggregated(self):
+        stats = [
+            QueryStats(inference_seconds=0.2),
+            QueryStats(inference_seconds=0.4),
+        ]
+        assert aggregate_stats(stats)["inference_seconds"] == pytest.approx(0.3)
+        assert aggregate_stats([])["inference_seconds"] == 0.0
+
 
 class TestStopwatch:
     def test_accumulates(self):

@@ -201,9 +201,19 @@ class TestStats:
         result = built_engine.query(query_workload[0], 0.5, 0.5)
         stats = result.stats
         assert stats.cpu_seconds > 0.0
+        assert stats.refine_seconds > 0.0
+        assert stats.inference_seconds > 0.0
         assert stats.io_accesses >= 1  # at least the root page
         assert stats.candidates >= 0
         assert stats.answers == len(result.answers)
+
+    def test_topk_stats_populated(self, built_engine, query_workload):
+        """query_topk must fill the same counters as query (bugfix audit)."""
+        stats = built_engine.query_topk(query_workload[0], 0.5, k=2).stats
+        assert stats.cpu_seconds > 0.0
+        assert stats.refine_seconds > 0.0
+        assert stats.inference_seconds > 0.0
+        assert stats.io_accesses >= 1
 
     def test_gamma_monotone_candidates(self, built_engine, query_workload):
         """Higher gamma can only shrink the candidate set (Fig. 7(c))."""

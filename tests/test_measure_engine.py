@@ -68,9 +68,27 @@ class TestBasics:
     def test_stats_populated(self, small_database, query_workload):
         engine = MeasureScanEngine(small_database, "pearson", TEST_CONFIG)
         engine.build()
-        stats = engine.query(query_workload[0], 0.5, 0.5).stats
+        result = engine.query(query_workload[0], 0.5, 0.5)
+        stats = result.stats
         assert stats.cpu_seconds > 0.0
+        assert stats.inference_seconds > 0.0
         assert stats.io_accesses >= len(small_database)
+        if result.query_graph.num_edges > 0 and stats.candidates > 0:
+            # Refinement ran on at least one candidate matrix; the timer
+            # must not be left at zero (bugfix audit).
+            assert stats.refine_seconds > 0.0
+
+    def test_cache_counters(self, small_database, query_workload):
+        engine = MeasureScanEngine(small_database, "pearson", TEST_CONFIG)
+        engine.build()
+        engine.query(query_workload[0], 0.5, 0.5)
+        first = engine.inference_stats()
+        assert first["cache_misses"] > 0
+        engine.query(query_workload[0], 0.5, 0.5)
+        second = engine.inference_stats()
+        # The repeated query re-reads the same column pairs: all hits.
+        assert second["cache_hits"] > first["cache_hits"]
+        assert second["cache_misses"] == first["cache_misses"]
 
 
 class TestNonlinearMatching:
