@@ -45,7 +45,7 @@ def test_query_speed_by_anchor(benchmark, setup, strategy):
     engines, queries = setup
     engine = engines[strategy]
     benchmark.pedantic(
-        lambda: [engine.query(q, GAMMA, ALPHA) for q in queries],
+        lambda: [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries],
         rounds=3,
         iterations=1,
     )
@@ -58,7 +58,7 @@ def test_ablation_anchor_series(benchmark, setup):
         result = ExperimentResult(name="ablation_anchor", x_label="strategy")
         answers = {}
         for strategy, engine in engines.items():
-            results = [engine.query(q, GAMMA, ALPHA) for q in queries]
+            results = [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries]
             answers[strategy] = [r.answer_sources() for r in results]
             agg = aggregate_stats([r.stats for r in results])
             result.rows.append(

@@ -44,7 +44,7 @@ def test_query_speed_by_bitvector_width(benchmark, setup, bits):
     engines, queries = setup
     engine = engines[bits]
     benchmark.pedantic(
-        lambda: [engine.query(q, GAMMA, ALPHA) for q in queries],
+        lambda: [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries],
         rounds=3,
         iterations=1,
     )
@@ -57,7 +57,7 @@ def test_ablation_bitvector_series(benchmark, setup):
         result = ExperimentResult(name="ablation_bitvector", x_label="B")
         answers = {}
         for bits, engine in engines.items():
-            results = [engine.query(q, GAMMA, ALPHA) for q in queries]
+            results = [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries]
             answers[bits] = [r.answer_sources() for r in results]
             agg = aggregate_stats([r.stats for r in results])
             result.rows.append(

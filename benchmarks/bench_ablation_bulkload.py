@@ -53,7 +53,7 @@ def test_ablation_bulkload_series(benchmark, setup, bench_seed):
         for label, bulk in (("insert", False), ("str_bulk", True)):
             engine = IMGRNEngine(database, EngineConfig(seed=bench_seed))
             engine.build(bulk=bulk)
-            results = [engine.query(q, GAMMA, ALPHA) for q in queries]
+            results = [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries]
             answers[label] = [r.answer_sources() for r in results]
             agg = aggregate_stats([r.stats for r in results])
             result.rows.append(

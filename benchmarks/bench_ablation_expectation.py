@@ -45,7 +45,7 @@ def test_query_speed_by_expectation_mode(benchmark, setup, mode):
     engines, queries = setup
     engine = engines[mode]
     benchmark.pedantic(
-        lambda: [engine.query(q, GAMMA, ALPHA) for q in queries],
+        lambda: [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries],
         rounds=3,
         iterations=1,
     )
@@ -58,7 +58,7 @@ def test_ablation_expectation_series(benchmark, setup):
         result = ExperimentResult(name="ablation_expectation", x_label="mode")
         answers = {}
         for mode, engine in engines.items():
-            results = [engine.query(q, GAMMA, ALPHA) for q in queries]
+            results = [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries]
             answers[mode] = [r.answer_sources() for r in results]
             agg = aggregate_stats([r.stats for r in results])
             result.rows.append(

@@ -66,7 +66,7 @@ def test_ablation_pivot_series(benchmark, setup):
                 )
                 for entry in engine._entries.values()
             ]
-            results = [engine.query(q, GAMMA, ALPHA) for q in queries]
+            results = [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries]
             answers[strategy] = [r.answer_sources() for r in results]
             agg = aggregate_stats([r.stats for r in results])
             result.rows.append(

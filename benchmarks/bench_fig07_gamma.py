@@ -22,7 +22,7 @@ ALPHA = 0.5
 def test_query_speed_vs_gamma(benchmark, uni_workload, gamma):
     engine, queries = uni_workload.engine, uni_workload.queries
     benchmark.pedantic(
-        lambda: [engine.query(q, gamma, ALPHA) for q in queries],
+        lambda: [engine.query(q, gamma=gamma, alpha=ALPHA) for q in queries],
         rounds=3,
         iterations=1,
     )
@@ -34,7 +34,7 @@ def test_figure7_series(benchmark, uni_workload, gau_workload):
         for label, workload in (("uni", uni_workload), ("gau", gau_workload)):
             for gamma in GAMMAS:
                 stats = [
-                    workload.engine.query(q, gamma, ALPHA).stats
+                    workload.engine.query(q, gamma=gamma, alpha=ALPHA).stats
                     for q in workload.queries
                 ]
                 agg = aggregate_stats(stats)

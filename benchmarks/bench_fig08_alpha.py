@@ -23,7 +23,7 @@ GAMMA = 0.5
 def test_query_speed_vs_alpha(benchmark, uni_workload, alpha):
     engine, queries = uni_workload.engine, uni_workload.queries
     benchmark.pedantic(
-        lambda: [engine.query(q, GAMMA, alpha) for q in queries],
+        lambda: [engine.query(q, gamma=GAMMA, alpha=alpha) for q in queries],
         rounds=3,
         iterations=1,
     )
@@ -35,7 +35,7 @@ def test_figure8_series(benchmark, uni_workload, gau_workload):
         for label, workload in (("uni", uni_workload), ("gau", gau_workload)):
             for alpha in ALPHAS:
                 stats = [
-                    workload.engine.query(q, GAMMA, alpha).stats
+                    workload.engine.query(q, gamma=GAMMA, alpha=alpha).stats
                     for q in workload.queries
                 ]
                 agg = aggregate_stats(stats)

@@ -40,7 +40,7 @@ def workloads(bench_seed):
 def test_query_speed_vs_pivots(benchmark, workloads, d):
     workload = workloads[("uni", d)]
     benchmark.pedantic(
-        lambda: [workload.engine.query(q, GAMMA, ALPHA) for q in workload.queries],
+        lambda: [workload.engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in workload.queries],
         rounds=3,
         iterations=1,
     )
@@ -53,7 +53,7 @@ def test_figure9_series(benchmark, workloads):
             for d in PIVOT_COUNTS:
                 workload = workloads[(weights, d)]
                 stats = [
-                    workload.engine.query(q, GAMMA, ALPHA).stats
+                    workload.engine.query(q, gamma=GAMMA, alpha=ALPHA).stats
                     for q in workload.queries
                 ]
                 agg = aggregate_stats(stats)

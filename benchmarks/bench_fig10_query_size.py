@@ -34,7 +34,7 @@ def query_sets(uni_workload, gau_workload, bench_seed):
 def test_query_speed_vs_nq(benchmark, uni_workload, query_sets, n_q):
     queries = query_sets[("uni", n_q)]
     benchmark.pedantic(
-        lambda: [uni_workload.engine.query(q, GAMMA, ALPHA) for q in queries],
+        lambda: [uni_workload.engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries],
         rounds=3,
         iterations=1,
     )
@@ -46,7 +46,7 @@ def test_figure10_series(benchmark, uni_workload, gau_workload, query_sets):
         for label, workload in (("uni", uni_workload), ("gau", gau_workload)):
             for n_q in QUERY_SIZES:
                 stats = [
-                    workload.engine.query(q, GAMMA, ALPHA).stats
+                    workload.engine.query(q, gamma=GAMMA, alpha=ALPHA).stats
                     for q in query_sets[(label, n_q)]
                 ]
                 agg = aggregate_stats(stats)

@@ -38,7 +38,7 @@ def workloads(bench_seed):
 def test_query_speed_vs_matrix_width(benchmark, workloads, genes_range):
     workload = workloads[("uni", genes_range)]
     benchmark.pedantic(
-        lambda: [workload.engine.query(q, GAMMA, ALPHA) for q in workload.queries],
+        lambda: [workload.engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in workload.queries],
         rounds=3,
         iterations=1,
     )
@@ -51,7 +51,7 @@ def test_figure11_series(benchmark, workloads):
             for genes_range in RANGES:
                 workload = workloads[(weights, genes_range)]
                 stats = [
-                    workload.engine.query(q, GAMMA, ALPHA).stats
+                    workload.engine.query(q, gamma=GAMMA, alpha=ALPHA).stats
                     for q in workload.queries
                 ]
                 agg = aggregate_stats(stats)

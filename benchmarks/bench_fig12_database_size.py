@@ -36,7 +36,7 @@ def workloads(bench_seed):
 def test_query_speed_vs_database_size(benchmark, workloads, n):
     workload = workloads[("uni", n)]
     benchmark.pedantic(
-        lambda: [workload.engine.query(q, GAMMA, ALPHA) for q in workload.queries],
+        lambda: [workload.engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in workload.queries],
         rounds=3,
         iterations=1,
     )
@@ -49,7 +49,7 @@ def test_figure12_series(benchmark, workloads):
             for n in SIZES:
                 workload = workloads[(weights, n)]
                 stats = [
-                    workload.engine.query(q, GAMMA, ALPHA).stats
+                    workload.engine.query(q, gamma=GAMMA, alpha=ALPHA).stats
                     for q in workload.queries
                 ]
                 agg = aggregate_stats(stats)

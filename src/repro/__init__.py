@@ -25,10 +25,12 @@ from .config import (
     Defaults,
     EngineConfig,
     InferenceConfig,
+    ObservabilityConfig,
     ParameterGrid,
     SyntheticConfig,
 )
 from .adhoc import AdHocMatchEngine, FeatureCollection
+from .core import QueryEngine
 from .core.baseline import BaselineEngine, LinearScanEngine
 from .core.batch_inference import BatchInferenceEngine, EdgeProbabilityCache
 from .core.measure_engine import MeasureScanEngine
@@ -41,6 +43,7 @@ from .core.measures import (
 from .core.persistence import load_engine, save_engine
 from .core.inference import (
     EdgeProbabilityEstimator,
+    edge_probability,
     edge_probability_correlation,
     edge_probability_distance,
     edge_probability_exact,
@@ -58,6 +61,14 @@ from .data.noise import add_noise, add_noise_to_database
 from .data.organisms import ORGANISMS, OrganismSpec, generate_organism_matrix
 from .data.queries import extract_query, generate_query_workload
 from .data.synthetic import generate_database, generate_matrix
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    get_registry,
+    metrics_to_json,
+    metrics_to_prometheus,
+)
 from .errors import (
     DegenerateVectorError,
     DimensionMismatchError,
@@ -79,6 +90,7 @@ __all__ = [
     "Defaults",
     "EngineConfig",
     "InferenceConfig",
+    "ObservabilityConfig",
     "ParameterGrid",
     "SyntheticConfig",
     "BatchInferenceEngine",
@@ -87,6 +99,7 @@ __all__ = [
     "ProbabilisticGraph",
     "edge_key",
     "EdgeProbabilityEstimator",
+    "edge_probability",
     "edge_probability_correlation",
     "edge_probability_distance",
     "edge_probability_exact",
@@ -100,6 +113,7 @@ __all__ = [
     "find_embeddings",
     "matches",
     # engines
+    "QueryEngine",
     "IMGRNAnswer",
     "IMGRNEngine",
     "IMGRNResult",
@@ -127,6 +141,13 @@ __all__ = [
     "generate_query_workload",
     "generate_database",
     "generate_matrix",
+    # observability
+    "MetricsRegistry",
+    "Tracer",
+    "get_registry",
+    "chrome_trace",
+    "metrics_to_json",
+    "metrics_to_prometheus",
     # errors
     "ReproError",
     "ValidationError",

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import EngineConfig
-from ..core.query import IMGRNEngine, IMGRNResult
+from ..core.query import IMGRNEngine, IMGRNResult, _resolve_query_thresholds
 from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import ValidationError
@@ -112,16 +112,21 @@ class AdHocMatchEngine:
     def query(
         self,
         query_collection: FeatureCollection,
-        gamma: float,
-        alpha: float,
+        *args: float,
+        gamma: float | None = None,
+        alpha: float | None = None,
     ) -> IMGRNResult:
         """Collections whose inferred graph contains the query's pattern.
 
         The query's similarity graph is inferred at ``gamma``; answers are
         collections containing a label-preserving match with appearance
-        probability above ``alpha``.
+        probability above ``alpha``. Thresholds are keyword-only; the
+        positional form is deprecated.
         """
-        return self._engine.query(query_collection.to_matrix(), gamma, alpha)
+        gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
+        return self._engine.query(
+            query_collection.to_matrix(), gamma=gamma, alpha=alpha
+        )
 
     def infer_graph(self, collection: FeatureCollection, gamma: float):
         """The collection's ad-hocly inferred similarity graph at ``gamma``.

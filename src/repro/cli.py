@@ -7,6 +7,11 @@ Runs any of the paper's experiments and prints its series, e.g.::
     imgrn vs-baseline --queries 3
     imgrn index-build
 
+plus two observability commands::
+
+    imgrn query --trace-out trace.json   # run queries, dump a Chrome trace
+    imgrn stats metrics.json             # pretty-print a metrics snapshot
+
 Every option has a laptop-scale default; the sweeps reproduce the figure
 *shapes* of the paper (see EXPERIMENTS.md).
 """
@@ -93,6 +98,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory holding the bench outputs (default: benchmarks/out)",
     )
+
+    query = sub.add_parser(
+        "query",
+        help="build an engine over a synthetic DB, run queries, "
+        "export traces/metrics",
+    )
+    query.add_argument(
+        "--engine",
+        default="imgrn",
+        choices=["imgrn", "linear-scan", "baseline", "measure-scan"],
+    )
+    query.add_argument("--n-matrices", type=int, default=40)
+    query.add_argument("--genes-range", type=int, nargs=2, default=[20, 40],
+                       metavar=("LO", "HI"))
+    query.add_argument("--n-q", type=int, default=4,
+                       help="genes per query graph")
+    query.add_argument("--queries", type=int, default=3)
+    query.add_argument("--gamma", type=float, default=0.5)
+    query.add_argument("--alpha", type=float, default=0.5)
+    query.add_argument("--seed", type=int, default=7)
+    query.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace_event JSON of all spans")
+    query.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics registry as JSON")
+    query.add_argument("--prometheus-out", default=None, metavar="PATH",
+                       help="write the metrics in Prometheus text format")
+
+    stats = sub.add_parser(
+        "stats", help="render a metrics snapshot (JSON file or live registry)"
+    )
+    stats.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="metrics JSON written by `imgrn query --metrics-out` "
+        "(omit to read the in-process global registry)",
+    )
+    stats.add_argument(
+        "--format", default="table", choices=["table", "json", "prometheus"]
+    )
     return parser
 
 
@@ -119,6 +164,112 @@ def _run_report(out_dir: str | None) -> int:
     return 0
 
 
+def _run_query(args: argparse.Namespace) -> int:
+    """Build + query an engine over a synthetic database, export telemetry."""
+    from .config import EngineConfig, ObservabilityConfig, SyntheticConfig
+    from .core.baseline import BaselineEngine, LinearScanEngine
+    from .core.measure_engine import MeasureScanEngine
+    from .core.query import IMGRNEngine
+    from .data.queries import generate_query_workload
+    from .data.synthetic import generate_database
+    from .obs.exporters import (
+        metrics_to_json,
+        metrics_to_prometheus,
+        write_chrome_trace,
+    )
+
+    config = EngineConfig(
+        seed=args.seed,
+        observability=ObservabilityConfig(
+            tracing=args.trace_out is not None,
+            shared_registry=False,
+        ),
+    )
+    database = generate_database(
+        SyntheticConfig(genes_range=tuple(args.genes_range), seed=args.seed),
+        args.n_matrices,
+    )
+    engines = {
+        "imgrn": IMGRNEngine,
+        "linear-scan": LinearScanEngine,
+        "baseline": BaselineEngine,
+        "measure-scan": MeasureScanEngine,
+    }
+    engine = engines[args.engine](database, config=config)
+    build_seconds = engine.build()
+    workload = generate_query_workload(
+        database, args.n_q, count=args.queries, rng=args.seed
+    )
+    total_answers = 0
+    for index, query_matrix in enumerate(workload):
+        result = engine.query(query_matrix, gamma=args.gamma, alpha=args.alpha)
+        total_answers += len(result.answers)
+        print(
+            f"query {index}: {query_matrix.num_genes} genes, "
+            f"{result.query_graph.num_edges} query edges, "
+            f"{result.stats.candidates} candidates, "
+            f"{len(result.answers)} answers, "
+            f"{result.stats.io_accesses} page accesses"
+        )
+    print(
+        f"{args.engine}: {len(workload)} queries over "
+        f"{len(database)} matrices, {total_answers} answers, "
+        f"build {build_seconds:.3f}s"
+    )
+    if args.trace_out:
+        path = write_chrome_trace(engine.obs.tracer, args.trace_out)
+        print(f"trace written to {path}")
+    if args.metrics_out:
+        from pathlib import Path
+
+        Path(args.metrics_out).write_text(
+            metrics_to_json(engine.obs.metrics), encoding="utf-8"
+        )
+        print(f"metrics written to {args.metrics_out}")
+    if args.prometheus_out:
+        from pathlib import Path
+
+        Path(args.prometheus_out).write_text(
+            metrics_to_prometheus(engine.obs.metrics), encoding="utf-8"
+        )
+        print(f"prometheus metrics written to {args.prometheus_out}")
+    return 0
+
+
+def _run_stats(path: str | None, output_format: str) -> int:
+    """Render a metrics snapshot as a table, JSON or Prometheus text."""
+    from .obs import get_registry
+    from .obs.exporters import (
+        metrics_to_json,
+        metrics_to_prometheus,
+        registry_from_json,
+    )
+
+    if path is None:
+        registry = get_registry()
+    else:
+        from pathlib import Path
+
+        target = Path(path)
+        if not target.is_file():
+            print(f"no metrics file at {target}", file=sys.stderr)
+            return 1
+        registry = registry_from_json(target.read_text(encoding="utf-8"))
+    if output_format == "json":
+        print(metrics_to_json(registry))
+    elif output_format == "prometheus":
+        print(metrics_to_prometheus(registry), end="")
+    else:
+        snapshot = registry.snapshot()
+        if not snapshot:
+            print("(registry is empty)")
+            return 0
+        width = max(len(key) for key in snapshot)
+        for key in sorted(snapshot):
+            print(f"{key:<{width}}  {snapshot[key]:g}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -126,6 +277,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if name == "report":
         return _run_report(args.out_dir)
+
+    if name == "query":
+        return _run_query(args)
+
+    if name == "stats":
+        return _run_stats(args.path, args.format)
 
     if name in ("roc", "pcorr"):
         driver = experiments.roc_inference if name == "roc" else experiments.roc_pcorr

@@ -27,6 +27,7 @@ __all__ = [
     "Defaults",
     "EngineConfig",
     "InferenceConfig",
+    "ObservabilityConfig",
     "SyntheticConfig",
     "PAPER_GRID",
     "DEFAULTS",
@@ -136,6 +137,43 @@ class InferenceConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Knobs of the tracing/metrics layer (:mod:`repro.obs`).
+
+    Attributes
+    ----------
+    tracing:
+        Record spans (wall/CPU time + attributes) during build and query.
+        Off by default: the no-op tracer makes instrumented hot paths
+        cost ~nothing (pinned by the overhead microbenchmark in
+        ``tests/test_obs.py``).
+    shared_registry:
+        ``True`` (default) records metrics into the process-wide registry
+        (:func:`repro.obs.get_registry`), so all engines in a process
+        export one coherent snapshot. ``False`` gives the engine a
+        private :class:`repro.obs.MetricsRegistry` -- useful for isolated
+        measurements and tests. Per-query ``QueryStats`` are computed as
+        registry *deltas*, so both modes report identical stats.
+    trace_capacity:
+        Maximum retained spans; later spans are counted as dropped.
+    """
+
+    tracing: bool = False
+    shared_registry: bool = True
+    trace_capacity: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity < 1:
+            raise ValidationError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
+
+    def with_(self, **changes: object) -> "ObservabilityConfig":
+        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Knobs of :class:`repro.core.query.IMGRNEngine`.
 
@@ -166,6 +204,9 @@ class EngineConfig:
     inference:
         Batching/caching/parallelism knobs of the edge-probability engine
         (:class:`InferenceConfig`); never changes the computed values.
+    observability:
+        Tracing/metrics knobs (:class:`ObservabilityConfig`); never
+        changes query answers, only what gets recorded about them.
     """
 
     num_pivots: int = DEFAULTS.num_pivots
@@ -181,6 +222,7 @@ class EngineConfig:
     rstar_max_entries: int = 16
     seed: int = 7
     inference: InferenceConfig = InferenceConfig()
+    observability: ObservabilityConfig = ObservabilityConfig()
 
     def __post_init__(self) -> None:
         if self.num_pivots < 1:

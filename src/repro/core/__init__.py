@@ -1,20 +1,34 @@
-"""Core IM-GRN machinery: inference, pruning, embedding, query processing."""
+"""Core IM-GRN machinery: inference, pruning, embedding, query processing.
 
+All four engines (:class:`~repro.core.query.IMGRNEngine`,
+:class:`~repro.core.baseline.BaselineEngine`,
+:class:`~repro.core.baseline.LinearScanEngine`,
+:class:`~repro.core.measure_engine.MeasureScanEngine`) conform to the
+:class:`QueryEngine` protocol below: ``build()`` once, then
+``query(matrix, gamma=..., alpha=...)`` any number of times, always
+returning an :class:`~repro.core.query.IMGRNResult`.
+"""
+
+from typing import Protocol, runtime_checkable
+
+from ..data.matrix import GeneFeatureMatrix
 from .batch_inference import (
     BatchInferenceEngine,
     EdgeProbabilityCache,
     standardize_columns,
 )
-from .inference import EdgeProbabilityEstimator, infer_grn
+from .inference import EdgeProbabilityEstimator, edge_probability, infer_grn
 from .matching import Embedding, find_embeddings, matches
 from .probgraph import ProbabilisticGraph, edge_key
 from .query import IMGRNAnswer, IMGRNEngine, IMGRNResult
 
 __all__ = [
+    "QueryEngine",
     "BatchInferenceEngine",
     "EdgeProbabilityCache",
     "standardize_columns",
     "EdgeProbabilityEstimator",
+    "edge_probability",
     "infer_grn",
     "Embedding",
     "find_embeddings",
@@ -25,3 +39,36 @@ __all__ = [
     "IMGRNEngine",
     "IMGRNResult",
 ]
+
+
+@runtime_checkable
+class QueryEngine(Protocol):
+    """The unified engine contract.
+
+    Every engine exposes exactly this surface; downstream code (the CLI,
+    the evaluation harness, the ad-hoc framework) programs against it and
+    stays agnostic of which retrieval strategy is behind it.
+
+    Thresholds are keyword-only: ``query(matrix, gamma=0.9, alpha=0.5)``.
+    Engines still accept the historical positional form but emit a
+    :class:`DeprecationWarning` for it.
+    """
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`build` has completed."""
+        ...
+
+    def build(self) -> float:
+        """Prepare the engine; returns wall-clock build seconds."""
+        ...
+
+    def query(
+        self,
+        query_matrix: GeneFeatureMatrix,
+        *,
+        gamma: float,
+        alpha: float,
+    ) -> IMGRNResult:
+        """Answer a Definition-4 IM-GRN query."""
+        ...

@@ -26,6 +26,8 @@ from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import IndexNotBuiltError, ValidationError
 from ..eval.counters import QueryStats
+from ..obs import Observability
+from ..obs import names as _names
 from .batch_inference import BatchInferenceEngine, standardize_columns
 from .inference import EdgeProbabilityEstimator
 from .matching import Embedding, best_embedding
@@ -36,7 +38,7 @@ from .pruning import (
     graph_existence_upper_bound,
     markov_edge_upper_bound,
 )
-from .query import IMGRNAnswer, IMGRNResult
+from .query import IMGRNAnswer, IMGRNResult, _resolve_query_thresholds
 from .standardize import standardize_matrix
 
 __all__ = ["BaselineEngine", "LinearScanEngine"]
@@ -44,6 +46,15 @@ __all__ = ["BaselineEngine", "LinearScanEngine"]
 #: Bytes per stored probability / feature value (double precision).
 _FLOAT_BYTES = 8
 _PAGE_BYTES = 4096
+
+
+def _stage_timer(metrics, engine: str, stage: str):
+    return metrics.histogram(
+        _names.STAGE_SECONDS,
+        help="per-query stage wall-clock seconds",
+        engine=engine,
+        stage=stage,
+    )
 
 
 class BaselineEngine:
@@ -57,6 +68,7 @@ class BaselineEngine:
         database.require_non_empty()
         self.database = database
         self.config = config or EngineConfig()
+        self.obs = Observability.from_config(self.config.observability)
         self._estimator = EdgeProbabilityEstimator(
             n_samples=self.config.mc_samples,
             epsilon=self.config.epsilon,
@@ -64,7 +76,7 @@ class BaselineEngine:
             seed=self.config.seed,
         )
         self._inference = BatchInferenceEngine(
-            self._estimator, self.config.inference
+            self._estimator, self.config.inference, obs=self.obs
         )
         self._store: dict[int, np.ndarray] | None = None
         self.precompute_seconds: float = 0.0
@@ -83,24 +95,34 @@ class BaselineEngine:
         the same per-pair estimator the online engines use, so answers are
         bit-identical across engines.
         """
+        metrics = self.obs.metrics
+        built_matrices = metrics.counter(
+            _names.BUILD_MATRICES, help="matrices materialized", engine="baseline"
+        )
         started = time.perf_counter()
         store: dict[int, np.ndarray] = {}
         total_pairs = 0
-        for matrix in self.database:
-            n = matrix.num_genes
-            probs = self._inference.probability_matrix(matrix.values)
-            store[matrix.source_id] = probs
-            total_pairs += n * (n - 1) // 2
+        with self.obs.tracer.span("build", engine="baseline"):
+            for matrix in self.database:
+                n = matrix.num_genes
+                probs = self._inference.probability_matrix(matrix.values)
+                store[matrix.source_id] = probs
+                total_pairs += n * (n - 1) // 2
+                built_matrices.inc()
         self._store = store
         self.storage_bytes = total_pairs * _FLOAT_BYTES
         self.precompute_seconds = time.perf_counter() - started
+        metrics.histogram(
+            _names.BUILD_SECONDS, help="store build seconds", engine="baseline"
+        ).observe(self.precompute_seconds)
         return self.precompute_seconds
 
     def query(
         self,
         query_matrix: GeneFeatureMatrix,
-        gamma: float,
-        alpha: float,
+        *args: float,
+        gamma: float | None = None,
+        alpha: float | None = None,
     ) -> IMGRNResult:
         """Scan the pre-computed store: materialize each GRN and match.
 
@@ -111,36 +133,67 @@ class BaselineEngine:
         materialization is what makes this engine slow -- exactly the cost
         the index avoids.
         """
+        gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
         if self._store is None:
             raise IndexNotBuiltError("call build() before query()")
         if not 0.0 <= gamma < 1.0:
             raise ValidationError(f"gamma must be in [0,1), got {gamma}")
         if not 0.0 <= alpha < 1.0:
             raise ValidationError(f"alpha must be in [0,1), got {alpha}")
-        stats = QueryStats()
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
+        mark = metrics.mark()
         started = time.perf_counter()
-        query_graph = _infer_query_graph(query_matrix, gamma, self._inference)
-        stats.inference_seconds = time.perf_counter() - started
-        answers: list[IMGRNAnswer] = []
-        for matrix in self.database:
-            probs = self._store[matrix.source_id]
-            # Reading the full pre-computed triangle of this matrix:
-            pairs = matrix.num_genes * (matrix.num_genes - 1) // 2
-            stats.io_accesses += max(
-                1, math.ceil(pairs * _FLOAT_BYTES / _PAGE_BYTES)
-            )
-            stats.candidates += 1
-            grn = self._materialize_grn(matrix, probs, gamma)
-            embedding = best_embedding(query_graph, grn, alpha=alpha)
-            if embedding is not None:
-                answers.append(
-                    IMGRNAnswer(
-                        matrix.source_id, embedding, embedding.probability
-                    )
+        with tracer.span("query", engine="baseline", gamma=gamma, alpha=alpha):
+            with tracer.span("query.infer", genes=query_matrix.num_genes):
+                infer_started = time.perf_counter()
+                query_graph = _infer_query_graph(
+                    query_matrix, gamma, self._inference
                 )
-        stats.cpu_seconds = time.perf_counter() - started
-        stats.answers = len(answers)
-        return IMGRNResult(query_graph, answers, stats)
+                _stage_timer(
+                    metrics, "baseline", _names.STAGE_INFERENCE
+                ).observe(time.perf_counter() - infer_started)
+            answers: list[IMGRNAnswer] = []
+            io_pages = 0
+            candidates = 0
+            with tracer.span("query.scan", matrices=len(self._store)):
+                for matrix in self.database:
+                    probs = self._store[matrix.source_id]
+                    # Reading the full pre-computed triangle of this matrix:
+                    pairs = matrix.num_genes * (matrix.num_genes - 1) // 2
+                    io_pages += max(
+                        1, math.ceil(pairs * _FLOAT_BYTES / _PAGE_BYTES)
+                    )
+                    candidates += 1
+                    grn = self._materialize_grn(matrix, probs, gamma)
+                    embedding = best_embedding(query_graph, grn, alpha=alpha)
+                    if embedding is not None:
+                        answers.append(
+                            IMGRNAnswer(
+                                matrix.source_id, embedding, embedding.probability
+                            )
+                        )
+            _stage_timer(metrics, "baseline", _names.STAGE_RETRIEVE).observe(
+                time.perf_counter() - started
+            )
+            metrics.counter(
+                _names.QUERY_IO, help="simulated pages read", engine="baseline"
+            ).inc(io_pages)
+            metrics.counter(
+                _names.QUERY_CANDIDATES,
+                help="candidates surviving all pruning",
+                engine="baseline",
+            ).inc(candidates)
+            metrics.counter(
+                _names.QUERY_ANSWERS, help="answers returned", engine="baseline"
+            ).inc(len(answers))
+            metrics.counter(
+                _names.QUERY_COUNT, help="queries answered", engine="baseline"
+            ).inc()
+        delta = metrics.since(mark)
+        return IMGRNResult(
+            query_graph, answers, QueryStats.from_metrics(delta), metrics=delta
+        )
 
     @staticmethod
     def _materialize_grn(
@@ -167,6 +220,7 @@ class LinearScanEngine:
         database.require_non_empty()
         self.database = database
         self.config = config or EngineConfig()
+        self.obs = Observability.from_config(self.config.observability)
         self._estimator = EdgeProbabilityEstimator(
             n_samples=self.config.mc_samples,
             epsilon=self.config.epsilon,
@@ -174,7 +228,7 @@ class LinearScanEngine:
             seed=self.config.seed,
         )
         self._inference = BatchInferenceEngine(
-            self._estimator, self.config.inference
+            self._estimator, self.config.inference, obs=self.obs
         )
         self._standardized: dict[int, np.ndarray] = {}
 
@@ -185,87 +239,154 @@ class LinearScanEngine:
     def build(self) -> float:
         """Standardize matrices once (the only state this engine keeps)."""
         started = time.perf_counter()
-        self._standardized = {
-            m.source_id: standardize_matrix(m.values) for m in self.database
-        }
-        return time.perf_counter() - started
+        with self.obs.tracer.span("build", engine="linear_scan"):
+            self._standardized = {
+                m.source_id: standardize_matrix(m.values) for m in self.database
+            }
+        elapsed = time.perf_counter() - started
+        self.obs.metrics.counter(
+            _names.BUILD_MATRICES, help="matrices standardized", engine="linear_scan"
+        ).inc(len(self._standardized))
+        self.obs.metrics.histogram(
+            _names.BUILD_SECONDS, help="build seconds", engine="linear_scan"
+        ).observe(elapsed)
+        return elapsed
 
     def query(
         self,
         query_matrix: GeneFeatureMatrix,
-        gamma: float,
-        alpha: float,
+        *args: float,
+        gamma: float | None = None,
+        alpha: float | None = None,
     ) -> IMGRNResult:
+        gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
         if not self._standardized:
             raise IndexNotBuiltError("call build() before query()")
         if not 0.0 <= alpha < 1.0:
             raise ValidationError(f"alpha must be in [0,1), got {alpha}")
-        stats = QueryStats()
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
+        mark = metrics.mark()
+        pruned_edge = metrics.counter(
+            _names.QUERY_PRUNED,
+            help="matrices discarded by pruning",
+            engine="linear_scan",
+            stage="edge_bound",
+        )
+        pruned_existence = metrics.counter(
+            _names.QUERY_PRUNED,
+            help="matrices discarded by pruning",
+            engine="linear_scan",
+            stage="lemma5",
+        )
         started = time.perf_counter()
-        query_graph = _infer_query_graph(query_matrix, gamma, self._inference)
-        stats.inference_seconds = time.perf_counter() - started
-        query_edges = [key for key, _p in query_graph.edges()]
-        candidates: list[int] = []
-        for matrix in self.database:
-            # Reading the raw matrix from disk:
-            stats.io_accesses += max(
-                1,
-                math.ceil(
-                    matrix.num_samples * matrix.num_genes * _FLOAT_BYTES / _PAGE_BYTES
-                ),
+        with tracer.span(
+            "query", engine="linear_scan", gamma=gamma, alpha=alpha
+        ):
+            with tracer.span("query.infer", genes=query_matrix.num_genes):
+                infer_started = time.perf_counter()
+                query_graph = _infer_query_graph(
+                    query_matrix, gamma, self._inference
+                )
+                _stage_timer(
+                    metrics, "linear_scan", _names.STAGE_INFERENCE
+                ).observe(time.perf_counter() - infer_started)
+            query_edges = [key for key, _p in query_graph.edges()]
+            candidates: list[int] = []
+            io_pages = 0
+            with tracer.span("query.scan", matrices=len(self._standardized)):
+                for matrix in self.database:
+                    # Reading the raw matrix from disk:
+                    io_pages += max(
+                        1,
+                        math.ceil(
+                            matrix.num_samples
+                            * matrix.num_genes
+                            * _FLOAT_BYTES
+                            / _PAGE_BYTES
+                        ),
+                    )
+                    if any(
+                        gene not in matrix for gene in query_graph.gene_ids
+                    ):
+                        continue
+                    std = self._standardized[matrix.source_id]
+                    expected = math.sqrt(2.0 * matrix.num_samples)
+                    bounds: list[float] = []
+                    pruned = False
+                    for u, v in query_edges:
+                        cu = matrix.column_index(u)
+                        cv = matrix.column_index(v)
+                        distance = float(np.linalg.norm(std[:, cu] - std[:, cv]))
+                        bound = markov_edge_upper_bound(distance, expected)
+                        if edge_inference_prunable(bound, gamma):
+                            pruned = True
+                            break
+                        bounds.append(bound)
+                    if pruned:
+                        pruned_edge.inc()
+                        continue
+                    if graph_existence_prunable(
+                        graph_existence_upper_bound(bounds), alpha
+                    ):
+                        pruned_existence.inc()
+                        continue
+                    candidates.append(matrix.source_id)
+            _stage_timer(metrics, "linear_scan", _names.STAGE_RETRIEVE).observe(
+                time.perf_counter() - started
             )
-            if any(gene not in matrix for gene in query_graph.gene_ids):
-                continue
-            std = self._standardized[matrix.source_id]
-            expected = math.sqrt(2.0 * matrix.num_samples)
-            bounds: list[float] = []
-            pruned = False
-            for u, v in query_edges:
-                cu = matrix.column_index(u)
-                cv = matrix.column_index(v)
-                distance = float(np.linalg.norm(std[:, cu] - std[:, cv]))
-                bound = markov_edge_upper_bound(distance, expected)
-                if edge_inference_prunable(bound, gamma):
-                    pruned = True
-                    break
-                bounds.append(bound)
-            if pruned:
-                stats.pruned_pairs += 1
-                continue
-            if graph_existence_prunable(
-                graph_existence_upper_bound(bounds), alpha
-            ):
-                stats.pruned_pairs += 1
-                continue
-            candidates.append(matrix.source_id)
-        stats.candidates = len(candidates)
-        stats.cpu_seconds = time.perf_counter() - started
+            metrics.counter(
+                _names.QUERY_IO, help="simulated pages read", engine="linear_scan"
+            ).inc(io_pages)
+            metrics.counter(
+                _names.QUERY_CANDIDATES,
+                help="candidates surviving all pruning",
+                engine="linear_scan",
+            ).inc(len(candidates))
 
-        refine_start = time.perf_counter()
-        answers: list[IMGRNAnswer] = []
-        for source in candidates:
-            matrix = self.database.get(source)
-            probability = 1.0
-            matched = True
-            for u, v in query_edges:
-                p = self._inference.pair_probability(
-                    matrix.column(u), matrix.column(v)
-                )
-                if p <= gamma:
-                    matched = False
-                    break
-                probability *= p
-                if probability <= alpha:
-                    matched = False
-                    break
-            if matched:
-                mapping = tuple((g, g) for g in sorted(query_graph.gene_ids))
-                answers.append(
-                    IMGRNAnswer(source, Embedding(mapping, probability), probability)
-                )
-        stats.refine_seconds = time.perf_counter() - refine_start
-        stats.answers = len(answers)
-        return IMGRNResult(query_graph, answers, stats)
+            answers: list[IMGRNAnswer] = []
+            with tracer.span(
+                "query.refine", candidates=len(candidates)
+            ) as refine_span:
+                refine_start = time.perf_counter()
+                for source in candidates:
+                    matrix = self.database.get(source)
+                    probability = 1.0
+                    matched = True
+                    for u, v in query_edges:
+                        p = self._inference.pair_probability(
+                            matrix.column(u), matrix.column(v)
+                        )
+                        if p <= gamma:
+                            matched = False
+                            break
+                        probability *= p
+                        if probability <= alpha:
+                            matched = False
+                            break
+                    if matched:
+                        mapping = tuple(
+                            (g, g) for g in sorted(query_graph.gene_ids)
+                        )
+                        answers.append(
+                            IMGRNAnswer(
+                                source, Embedding(mapping, probability), probability
+                            )
+                        )
+                _stage_timer(
+                    metrics, "linear_scan", _names.STAGE_REFINE
+                ).observe(time.perf_counter() - refine_start)
+                refine_span.set(answers=len(answers))
+            metrics.counter(
+                _names.QUERY_ANSWERS, help="answers returned", engine="linear_scan"
+            ).inc(len(answers))
+            metrics.counter(
+                _names.QUERY_COUNT, help="queries answered", engine="linear_scan"
+            ).inc()
+        delta = metrics.since(mark)
+        return IMGRNResult(
+            query_graph, answers, QueryStats.from_metrics(delta), metrics=delta
+        )
 
 
 def _infer_query_graph(

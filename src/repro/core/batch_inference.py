@@ -32,6 +32,8 @@ import numpy as np
 
 from ..config import InferenceConfig
 from ..errors import DimensionMismatchError, ValidationError
+from ..obs import Observability
+from ..obs import names as _names
 from .randomization import MAX_EXACT_LENGTH, content_seed
 from .standardize import standardize_vector
 
@@ -270,6 +272,7 @@ class BatchInferenceEngine:
         estimator: "EdgeProbabilityEstimator | None" = None,
         config: InferenceConfig | None = None,
         cache: EdgeProbabilityCache | None = None,
+        obs: Observability | None = None,
     ):
         if estimator is None:
             from .inference import EdgeProbabilityEstimator
@@ -277,12 +280,24 @@ class BatchInferenceEngine:
             estimator = EdgeProbabilityEstimator()
         self.estimator = estimator
         self.config = config or InferenceConfig()
+        self.obs = obs if obs is not None else Observability.disabled()
         if cache is not None:
             self.cache = cache
         elif self.config.cache:
             self.cache = EdgeProbabilityCache(self.config.cache_size)
         else:
             self.cache = None
+        # Hoisted once: hot-path updates are single float adds.
+        metrics = self.obs.metrics
+        self._pairs_estimated = metrics.counter(
+            _names.INFERENCE_PAIRS, help="edge probabilities estimated"
+        )
+        self._cache_hit_count = metrics.counter(
+            _names.INFERENCE_CACHE_HITS, help="edge-probability cache hits"
+        )
+        self._cache_miss_count = metrics.counter(
+            _names.INFERENCE_CACHE_MISSES, help="edge-probability cache misses"
+        )
 
     # ------------------------------------------------------------------
     # Cache keys
@@ -310,11 +325,15 @@ class BatchInferenceEngine:
         xs = standardize_vector(raw_s)
         xt = standardize_vector(raw_t)
         if self.cache is None:
+            self._pairs_estimated.inc()
             return self._compute_pair(raw_s, raw_t, xs, xt)
         key = (content_seed(xs), content_seed(xt), *self._params_key())
         hit = self.cache.get(key)
         if hit is not None:
+            self._cache_hit_count.inc()
             return float(hit)  # type: ignore[arg-type]
+        self._cache_miss_count.inc()
+        self._pairs_estimated.inc()
         value = self._compute_pair(raw_s, raw_t, xs, xt)
         self.cache.put(key, value)
         return value
@@ -375,28 +394,35 @@ class BatchInferenceEngine:
                 keys[(s, t)] = key
                 hit = self.cache.get(key)
                 if hit is not None:
+                    self._cache_hit_count.inc()
                     out[(s, t)] = float(hit)  # type: ignore[arg-type]
                     continue
+                self._cache_miss_count.inc()
             missing_by_t.setdefault(t, []).append(s)
-        for t in sorted(missing_by_t):
-            partners = sorted(missing_by_t[t])
-            block = _permutation_block(
-                std[:, t], seed_of(t), n_samples, est.seed
-            )
-            cols = std[:, partners]
-            scores = block @ cols
-            observed = std[:, t] @ cols
-            if est.semantics == "one_sided":
-                probs = np.mean(scores < observed[np.newaxis, :], axis=0)
-            else:
-                probs = np.mean(
-                    np.abs(scores) < np.abs(observed)[np.newaxis, :], axis=0
+        computed = sum(len(v) for v in missing_by_t.values())
+        self._pairs_estimated.inc(computed)
+        with self.obs.tracer.span(
+            "inference.pair_block", pairs=len(pairs), computed=computed
+        ):
+            for t in sorted(missing_by_t):
+                partners = sorted(missing_by_t[t])
+                block = _permutation_block(
+                    std[:, t], seed_of(t), n_samples, est.seed
                 )
-            for s, p in zip(partners, probs):
-                value = float(p)
-                out[(s, t)] = value
-                if self.cache is not None:
-                    self.cache.put(keys[(s, t)], value)
+                cols = std[:, partners]
+                scores = block @ cols
+                observed = std[:, t] @ cols
+                if est.semantics == "one_sided":
+                    probs = np.mean(scores < observed[np.newaxis, :], axis=0)
+                else:
+                    probs = np.mean(
+                        np.abs(scores) < np.abs(observed)[np.newaxis, :], axis=0
+                    )
+                for s, p in zip(partners, probs):
+                    value = float(p)
+                    out[(s, t)] = value
+                    if self.cache is not None:
+                        self.cache.put(keys[(s, t)], value)
         return out
 
     # ------------------------------------------------------------------
@@ -424,16 +450,23 @@ class BatchInferenceEngine:
         if self.cache is not None:
             hit = self.cache.get(matrix_key)
             if hit is not None:
+                self._cache_hit_count.inc()
                 return np.array(hit, dtype=np.float64)
-        result = _probability_matrix_std(
-            std,
-            n_samples,
-            est.seed,
-            est.semantics,
-            self.config.batch_size,
-            self.config.workers,
-            col_seeds=col_seeds,
-        )
+            self._cache_miss_count.inc()
+        n = std.shape[1]
+        self._pairs_estimated.inc(n * (n - 1) // 2)
+        with self.obs.tracer.span(
+            "inference.matrix", genes=n, samples=n_samples
+        ):
+            result = _probability_matrix_std(
+                std,
+                n_samples,
+                est.seed,
+                est.semantics,
+                self.config.batch_size,
+                self.config.workers,
+                col_seeds=col_seeds,
+            )
         if self.cache is not None:
             frozen = result.copy()
             frozen.setflags(write=False)

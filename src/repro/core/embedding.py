@@ -113,6 +113,7 @@ def embed_matrix(
     pivot_global_iter: int = 3,
     pivot_swap_iter: int = 20,
     rng: np.random.Generator | int | None = None,
+    tracer=None,
 ) -> EmbeddedMatrix:
     """Embed one matrix: select pivots, compute ``x`` and ``y`` coordinates.
 
@@ -135,7 +136,14 @@ def embed_matrix(
         ``"cost_model"`` (Fig. 3) or ``"random"`` (ablation baseline).
     rng:
         Random source shared by pivot selection and MC expectations.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; records ``build.pivots`` and
+        ``build.coordinates`` sub-spans when tracing is on.
     """
+    if tracer is None:
+        from ..obs import NOOP_TRACER
+
+        tracer = NOOP_TRACER
     ids = tuple(int(g) for g in gene_ids)
     arr = np.asarray(matrix, dtype=np.float64)
     if arr.ndim != 2 or arr.shape[1] != len(ids):
@@ -151,36 +159,45 @@ def embed_matrix(
             f"pivot_strategy must be 'cost_model' or 'random', got {pivot_strategy!r}"
         )
     gen = default_rng(rng)
-    if pivot_strategy == "cost_model":
-        pivot_indices = select_pivots(
-            arr,
-            num_pivots,
-            global_iter=pivot_global_iter,
-            swap_iter=pivot_swap_iter,
-            rng=gen,
-        )
-    else:
-        pivot_indices = select_pivots_random(arr, num_pivots, rng=gen)
+    with tracer.span(
+        "build.pivots", source=int(source_id), strategy=pivot_strategy
+    ):
+        if pivot_strategy == "cost_model":
+            pivot_indices = select_pivots(
+                arr,
+                num_pivots,
+                global_iter=pivot_global_iter,
+                swap_iter=pivot_swap_iter,
+                rng=gen,
+            )
+        else:
+            pivot_indices = select_pivots_random(arr, num_pivots, rng=gen)
 
-    std = standardize_matrix(arr)
-    piv = np.asarray(pivot_indices, dtype=np.intp)
-    x = _pairwise_distances_to(std, piv)
+    with tracer.span(
+        "build.coordinates", source=int(source_id), mode=expectation_mode
+    ):
+        std = standardize_matrix(arr)
+        piv = np.asarray(pivot_indices, dtype=np.intp)
+        x = _pairwise_distances_to(std, piv)
 
-    n = std.shape[1]
-    d = len(pivot_indices)
-    y = np.empty((n, d), dtype=np.float64)
-    if expectation_mode == "jensen":
-        for s in range(n):
-            for r in range(d):
-                y[s, r] = expected_randomized_distance_jensen(
-                    std[:, s], std[:, piv[r]]
-                )
-    else:
-        for s in range(n):
-            for r in range(d):
-                y[s, r] = expected_randomized_distance_mc(
-                    std[:, s], std[:, piv[r]], n_samples=expectation_samples, rng=gen
-                )
+        n = std.shape[1]
+        d = len(pivot_indices)
+        y = np.empty((n, d), dtype=np.float64)
+        if expectation_mode == "jensen":
+            for s in range(n):
+                for r in range(d):
+                    y[s, r] = expected_randomized_distance_jensen(
+                        std[:, s], std[:, piv[r]]
+                    )
+        else:
+            for s in range(n):
+                for r in range(d):
+                    y[s, r] = expected_randomized_distance_mc(
+                        std[:, s],
+                        std[:, piv[r]],
+                        n_samples=expectation_samples,
+                        rng=gen,
+                    )
     x.setflags(write=False)
     y.setflags(write=False)
     return EmbeddedMatrix(

@@ -23,10 +23,20 @@ pruning/embedding bound in this library provably upper-bounds (the query
 engine uses it); ``semantics="two_sided"`` is the literal Eq.-1 measure
 (the robust permutation test on the absolute coefficient) used by the ROC
 accuracy experiments.
+
+**Blessed entrypoint.** :func:`edge_probability` is the one public way to
+compute edge probabilities: ``edge_probability(x_s, x_t, method=...)``
+dispatches to the Monte-Carlo distance form (``"distance"``, the
+default), the literal Eq.-1 correlation form (``"correlation"``), exact
+``l!`` enumeration (``"exact"``), or -- with a single matrix argument --
+the vectorized all-pairs sweep (``"matrix"``). The historical
+``edge_probability_{distance,correlation,exact,matrix}`` names remain as
+thin deprecated aliases.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,6 +56,7 @@ from .standardize import standardize_vector
 
 __all__ = [
     "EdgeProbabilityEstimator",
+    "edge_probability",
     "edge_probability_distance",
     "edge_probability_correlation",
     "edge_probability_exact",
@@ -85,7 +96,7 @@ def _dot_samples(
     return observed, permuted @ xs
 
 
-def edge_probability_distance(
+def _distance_probability(
     x_s: np.ndarray,
     x_t: np.ndarray,
     n_samples: int = 200,
@@ -108,7 +119,7 @@ def edge_probability_distance(
     return float(np.mean(np.abs(sampled) < abs(observed)))
 
 
-def edge_probability_correlation(
+def _correlation_probability(
     x_s: np.ndarray,
     x_t: np.ndarray,
     n_samples: int = 200,
@@ -133,7 +144,7 @@ def edge_probability_correlation(
     return hits / n_samples
 
 
-def edge_probability_exact(
+def _exact_probability(
     x_s: np.ndarray, x_t: np.ndarray, semantics: str = "one_sided"
 ) -> float:
     """Exact edge probability by enumerating all ``l!`` permutations.
@@ -216,7 +227,7 @@ class EdgeProbabilityEstimator:
         x_t = np.asarray(x_t, dtype=np.float64)
         length = int(x_t.shape[0])
         if 0 < length <= min(self.exact_below, MAX_EXACT_LENGTH):
-            return edge_probability_exact(x_s, x_t, self.semantics)
+            return _exact_probability(x_s, x_t, self.semantics)
         xs = standardize_vector(np.asarray(x_s, dtype=np.float64))
         xt = standardize_vector(x_t)
         return self.sampled_probability_std(xs, xt)
@@ -247,7 +258,7 @@ class EdgeProbabilityEstimator:
         are identical for every setting (and to the scalar path).
         """
         cfg = inference or InferenceConfig()
-        return edge_probability_matrix(
+        return _matrix_probability(
             matrix,
             n_samples=self.resolved_samples(),
             seed=self.seed,
@@ -257,7 +268,7 @@ class EdgeProbabilityEstimator:
         )
 
 
-def edge_probability_matrix(
+def _matrix_probability(
     matrix: np.ndarray,
     n_samples: int = 200,
     seed: int = 7,
@@ -292,6 +303,93 @@ def edge_probability_matrix(
         batch_size=batch_size,
         workers=workers,
     )
+
+
+_EDGE_PROBABILITY_METHODS = ("distance", "correlation", "exact", "matrix")
+
+
+def edge_probability(
+    x_s: np.ndarray,
+    x_t: np.ndarray | None = None,
+    *,
+    method: str = "distance",
+    **kwargs: object,
+):
+    """Edge existence probability -- the one blessed entrypoint.
+
+    Parameters
+    ----------
+    x_s, x_t:
+        The gene feature vector pair. For ``method="matrix"`` pass a
+        single ``l x n`` matrix as ``x_s`` (``x_t`` must be omitted) and
+        an ``n x n`` probability matrix is returned.
+    method:
+        * ``"distance"`` (default) -- Monte-Carlo estimate of the Eq.-4
+          distance comparison (kwargs: ``n_samples``, ``rng``,
+          ``semantics``);
+        * ``"correlation"`` -- literal Eq.-1 permutation test on the
+          absolute Pearson coefficient (kwargs: ``n_samples``, ``rng``);
+        * ``"exact"`` -- full ``l!`` enumeration, ``l <= 8`` (kwargs:
+          ``semantics``);
+        * ``"matrix"`` -- vectorized all-pairs sweep (kwargs:
+          ``n_samples``, ``seed``, ``semantics``, ``batch_size``,
+          ``workers``).
+
+    Returns
+    -------
+    float (pair methods) or numpy.ndarray (``method="matrix"``).
+    """
+    if method not in _EDGE_PROBABILITY_METHODS:
+        raise ValidationError(
+            f"method must be one of {_EDGE_PROBABILITY_METHODS}, got {method!r}"
+        )
+    if method == "matrix":
+        if x_t is not None:
+            raise ValidationError(
+                "method='matrix' takes a single l x n matrix; "
+                "pass it as the first argument only"
+            )
+        return _matrix_probability(x_s, **kwargs)  # type: ignore[arg-type]
+    if x_t is None:
+        raise ValidationError(f"method={method!r} requires both x_s and x_t")
+    if method == "distance":
+        return _distance_probability(x_s, x_t, **kwargs)  # type: ignore[arg-type]
+    if method == "correlation":
+        return _correlation_probability(x_s, x_t, **kwargs)  # type: ignore[arg-type]
+    return _exact_probability(x_s, x_t, **kwargs)  # type: ignore[arg-type]
+
+
+def _deprecated_alias(name: str, method: str, impl):
+    def wrapper(*args, **kwargs):
+        warnings.warn(
+            f"{name}() is deprecated; use "
+            f"edge_probability(..., method={method!r})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return impl(*args, **kwargs)
+
+    wrapper.__name__ = name
+    wrapper.__qualname__ = name
+    wrapper.__doc__ = (
+        f"Deprecated alias of :func:`edge_probability` with "
+        f"``method={method!r}``."
+    )
+    return wrapper
+
+
+edge_probability_distance = _deprecated_alias(
+    "edge_probability_distance", "distance", _distance_probability
+)
+edge_probability_correlation = _deprecated_alias(
+    "edge_probability_correlation", "correlation", _correlation_probability
+)
+edge_probability_exact = _deprecated_alias(
+    "edge_probability_exact", "exact", _exact_probability
+)
+edge_probability_matrix = _deprecated_alias(
+    "edge_probability_matrix", "matrix", _matrix_probability
+)
 
 
 def infer_grn(

@@ -27,15 +27,18 @@ from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import IndexNotBuiltError, ValidationError
 from ..eval.counters import QueryStats, Stopwatch
+from ..obs import Observability
+from ..obs import names as _names
 from .batch_inference import EdgeProbabilityCache
 from .matching import Embedding
 from .measures import MEASURES, ScoreFunction, randomized_measure_probability
 from .probgraph import ProbabilisticGraph
-from .query import IMGRNAnswer, IMGRNResult
+from .query import IMGRNAnswer, IMGRNResult, _resolve_query_thresholds
 from .randomization import content_seed
 
 __all__ = ["MeasureScanEngine"]
 
+_ENGINE = "measure_scan"
 _FLOAT_BYTES = 8
 _PAGE_BYTES = 4096
 
@@ -68,6 +71,7 @@ class MeasureScanEngine:
         self.database = database
         self.measure = measure
         self.config = config or EngineConfig()
+        self.obs = Observability.from_config(self.config.observability)
         self._built = False
         # Probabilities are content-addressable only for *named* measures:
         # a user-supplied callable has no stable identity to key on.
@@ -75,6 +79,16 @@ class MeasureScanEngine:
         self._cache: EdgeProbabilityCache | None = None
         if inference.cache and isinstance(measure, str):
             self._cache = EdgeProbabilityCache(inference.cache_size)
+        metrics = self.obs.metrics
+        self._pairs_estimated = metrics.counter(
+            _names.INFERENCE_PAIRS, help="edge probabilities estimated"
+        )
+        self._cache_hit_count = metrics.counter(
+            _names.INFERENCE_CACHE_HITS, help="edge-probability cache hits"
+        )
+        self._cache_miss_count = metrics.counter(
+            _names.INFERENCE_CACHE_MISSES, help="edge-probability cache misses"
+        )
 
     @property
     def is_built(self) -> bool:
@@ -95,6 +109,7 @@ class MeasureScanEngine:
     def _pair_probability(self, x_s, x_t) -> float:
         samples = self.config.mc_samples or 100
         if self._cache is None:
+            self._pairs_estimated.inc()
             return randomized_measure_probability(
                 x_s, x_t, self.measure, n_samples=samples
             )
@@ -109,7 +124,10 @@ class MeasureScanEngine:
         )
         hit = self._cache.get(key)
         if hit is not None:
+            self._cache_hit_count.inc()
             return float(hit)  # type: ignore[arg-type]
+        self._cache_miss_count.inc()
+        self._pairs_estimated.inc()
         value = randomized_measure_probability(
             xs, xt, self.measure, n_samples=samples
         )
@@ -136,51 +154,101 @@ class MeasureScanEngine:
     def query(
         self,
         query_matrix: GeneFeatureMatrix,
-        gamma: float,
-        alpha: float,
+        *args: float,
+        gamma: float | None = None,
+        alpha: float | None = None,
     ) -> IMGRNResult:
         """Definition-4 answers under the configured measure."""
+        gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
         if not self._built:
             raise IndexNotBuiltError("call build() before query()")
         if not 0.0 <= alpha < 1.0:
             raise ValidationError(f"alpha must be in [0,1), got {alpha}")
-        stats = QueryStats()
-        started = time.perf_counter()
-        query_graph = self.infer_query_graph(query_matrix, gamma)
-        stats.inference_seconds = time.perf_counter() - started
-        query_edges = [key for key, _p in query_graph.edges()]
-        answers: list[IMGRNAnswer] = []
-        refine = Stopwatch()
-        for matrix in self.database:
-            stats.io_accesses += max(
-                1,
-                math.ceil(
-                    matrix.num_samples * matrix.num_genes * _FLOAT_BYTES / _PAGE_BYTES
-                ),
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
+
+        def stage_timer(stage: str):
+            return metrics.histogram(
+                _names.STAGE_SECONDS,
+                help="per-query stage wall-clock seconds",
+                engine=_ENGINE,
+                stage=stage,
             )
-            if any(gene not in matrix for gene in query_graph.gene_ids):
-                continue
-            stats.candidates += 1
-            probability = 1.0
-            matched = True
-            with refine:
-                for u, v in query_edges:
-                    p = self._pair_probability(matrix.column(u), matrix.column(v))
-                    if p <= gamma:
-                        matched = False
-                        break
-                    probability *= p
-                    if probability <= alpha:
-                        matched = False
-                        break
-            if matched:
-                mapping = tuple((g, g) for g in sorted(query_graph.gene_ids))
-                answers.append(
-                    IMGRNAnswer(
-                        matrix.source_id, Embedding(mapping, probability), probability
-                    )
+
+        mark = metrics.mark()
+        started = time.perf_counter()
+        with tracer.span("query", engine=_ENGINE, gamma=gamma, alpha=alpha):
+            with tracer.span("query.infer", genes=query_matrix.num_genes):
+                infer_started = time.perf_counter()
+                query_graph = self.infer_query_graph(query_matrix, gamma)
+                stage_timer(_names.STAGE_INFERENCE).observe(
+                    time.perf_counter() - infer_started
                 )
-        stats.refine_seconds = refine.elapsed
-        stats.cpu_seconds = time.perf_counter() - started - refine.elapsed
-        stats.answers = len(answers)
-        return IMGRNResult(query_graph, answers, stats)
+            query_edges = [key for key, _p in query_graph.edges()]
+            answers: list[IMGRNAnswer] = []
+            refine = Stopwatch()
+            io_pages = 0
+            candidates = 0
+            with tracer.span("query.scan"):
+                for matrix in self.database:
+                    io_pages += max(
+                        1,
+                        math.ceil(
+                            matrix.num_samples
+                            * matrix.num_genes
+                            * _FLOAT_BYTES
+                            / _PAGE_BYTES
+                        ),
+                    )
+                    if any(
+                        gene not in matrix for gene in query_graph.gene_ids
+                    ):
+                        continue
+                    candidates += 1
+                    probability = 1.0
+                    matched = True
+                    with refine:
+                        for u, v in query_edges:
+                            p = self._pair_probability(
+                                matrix.column(u), matrix.column(v)
+                            )
+                            if p <= gamma:
+                                matched = False
+                                break
+                            probability *= p
+                            if probability <= alpha:
+                                matched = False
+                                break
+                    if matched:
+                        mapping = tuple(
+                            (g, g) for g in sorted(query_graph.gene_ids)
+                        )
+                        answers.append(
+                            IMGRNAnswer(
+                                matrix.source_id,
+                                Embedding(mapping, probability),
+                                probability,
+                            )
+                        )
+            stage_timer(_names.STAGE_REFINE).observe(refine.elapsed)
+            stage_timer(_names.STAGE_RETRIEVE).observe(
+                time.perf_counter() - started - refine.elapsed
+            )
+            metrics.counter(
+                _names.QUERY_IO, help="simulated pages read", engine=_ENGINE
+            ).inc(io_pages)
+            metrics.counter(
+                _names.QUERY_CANDIDATES,
+                help="candidates surviving all pruning",
+                engine=_ENGINE,
+            ).inc(candidates)
+            metrics.counter(
+                _names.QUERY_ANSWERS, help="answers returned", engine=_ENGINE
+            ).inc(len(answers))
+            metrics.counter(
+                _names.QUERY_COUNT, help="queries answered", engine=_ENGINE
+            ).inc()
+        delta = metrics.since(mark)
+        return IMGRNResult(
+            query_graph, answers, QueryStats.from_metrics(delta), metrics=delta
+        )

@@ -26,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..config import EngineConfig, InferenceConfig
+from ..config import EngineConfig, InferenceConfig, ObservabilityConfig
 from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import IndexNotBuiltError, ValidationError
@@ -38,6 +38,38 @@ __all__ = ["save_engine", "load_engine"]
 
 #: Archive format version (bump on layout changes).
 _FORMAT_VERSION = 1
+
+#: Nested config dataclasses reconstructed by name from archive dicts.
+_NESTED_CONFIG_FIELDS = {
+    "inference": InferenceConfig,
+    "observability": ObservabilityConfig,
+}
+
+
+def _fields_from_dict(cls, raw: dict) -> dict:
+    """Keep only keys that are fields of ``cls`` (forward compatibility:
+    archives written by newer versions may carry extra keys; archives
+    written by older versions may miss some -- missing fields fall back
+    to the dataclass defaults)."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    return {k: v for k, v in raw.items() if k in known}
+
+
+def _config_from_dict(raw: dict) -> EngineConfig:
+    """Rebuild an :class:`EngineConfig` from an archive dict, tolerantly.
+
+    ``dataclasses.asdict`` flattens nested dataclasses on save; here each
+    nested dict is rebuilt into its config class with the same
+    unknown-key filtering, so an archive from before a config field
+    existed still loads with that field at its default instead of
+    raising.
+    """
+    kwargs = _fields_from_dict(EngineConfig, dict(raw))
+    for name, cls in _NESTED_CONFIG_FIELDS.items():
+        value = kwargs.get(name)
+        if isinstance(value, dict):
+            kwargs[name] = cls(**_fields_from_dict(cls, value))
+    return EngineConfig(**kwargs)
 
 
 def save_engine(engine: IMGRNEngine, path: str | Path) -> None:
@@ -96,11 +128,7 @@ def load_engine(path: str | Path) -> IMGRNEngine:
                 f"{path}: unsupported archive version "
                 f"{meta.get('format_version')!r}"
             )
-        raw_config = dict(meta["config"])
-        if isinstance(raw_config.get("inference"), dict):
-            # asdict() flattened the nested dataclass on save.
-            raw_config["inference"] = InferenceConfig(**raw_config["inference"])
-        config = EngineConfig(**raw_config)
+        config = _config_from_dict(meta["config"])
         database = GeneFeatureDatabase()
         embeddings: dict[int, EmbeddedMatrix] = {}
         for sid in meta["source_ids"]:

@@ -24,6 +24,7 @@ import heapq
 import itertools
 import math
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -43,6 +44,8 @@ from ..index.invertedfile import SOURCE_SALT, InvertedBitVectorFile
 from ..index.node import Node
 from ..index.pagemanager import PageManager
 from ..index.rstartree import RStarTree
+from ..obs import Observability
+from ..obs import names as _names
 from .batch_inference import BatchInferenceEngine, standardize_columns
 from .embedding import EmbeddedMatrix, embed_matrix
 from .inference import EdgeProbabilityEstimator
@@ -60,6 +63,41 @@ from .randomization import expected_randomized_distance_jensen
 from .standardize import standardize_matrix
 
 __all__ = ["IMGRNAnswer", "IMGRNResult", "IMGRNEngine"]
+
+_ENGINE = "imgrn"
+
+
+def _resolve_query_thresholds(
+    args: tuple, gamma: float | None, alpha: float | None
+) -> tuple[float, float]:
+    """Back-compat shim for the unified ``query()`` signature.
+
+    The :class:`repro.core.QueryEngine` protocol takes ``gamma`` and
+    ``alpha`` keyword-only; legacy positional thresholds still work but
+    emit a :class:`DeprecationWarning`.
+    """
+    if args:
+        if (
+            len(args) > 2
+            or gamma is not None
+            or (len(args) == 2 and alpha is not None)
+        ):
+            raise TypeError(
+                "query() takes gamma and alpha once each; got "
+                f"{len(args)} positional threshold(s) plus keyword(s)"
+            )
+        warnings.warn(
+            "passing gamma/alpha positionally to query() is deprecated; "
+            "use query(matrix, gamma=..., alpha=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        gamma = args[0]
+        if len(args) == 2:
+            alpha = args[1]
+    if gamma is None or alpha is None:
+        raise TypeError("query() missing required arguments 'gamma' and 'alpha'")
+    return float(gamma), float(alpha)
 
 
 @dataclass(frozen=True)
@@ -84,11 +122,18 @@ class IMGRNAnswer:
 
 @dataclass
 class IMGRNResult:
-    """Result of one IM-GRN query: the answers plus cost accounting."""
+    """Result of one IM-GRN query: the answers plus cost accounting.
+
+    ``stats`` is carved out of the engine's metrics registry
+    (:meth:`repro.eval.counters.QueryStats.from_metrics`); ``metrics`` is
+    the raw per-query registry delta it was derived from, keyed by
+    snapshot keys (see :func:`repro.obs.metric_key`).
+    """
 
     query_graph: ProbabilisticGraph
     answers: list[IMGRNAnswer]
     stats: QueryStats
+    metrics: dict[str, float] = field(default_factory=dict)
 
     def answer_sources(self) -> list[int]:
         """Sorted source IDs of the matching matrices."""
@@ -115,6 +160,7 @@ class IMGRNEngine:
         database.require_non_empty()
         self.database = database
         self.config = config or EngineConfig()
+        self.obs = Observability.from_config(self.config.observability)
         self.pages = PageManager()
         self.tree: RStarTree | None = None
         self.inverted_file: InvertedBitVectorFile | None = None
@@ -127,7 +173,7 @@ class IMGRNEngine:
             seed=self.config.seed,
         )
         self._inference = BatchInferenceEngine(
-            self._estimator, self.config.inference
+            self._estimator, self.config.inference, obs=self.obs
         )
 
     # ------------------------------------------------------------------
@@ -154,6 +200,14 @@ class IMGRNEngine:
         from ..index.node import LeafEntry
 
         config = self.config
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        built_matrices = metrics.counter(
+            _names.BUILD_MATRICES, help="matrices indexed", engine=_ENGINE
+        )
+        built_points = metrics.counter(
+            _names.BUILD_POINTS, help="index points inserted", engine=_ENGINE
+        )
         dim = 2 * config.num_pivots + 1
         started = time.perf_counter()
         self.pages = PageManager()
@@ -167,37 +221,61 @@ class IMGRNEngine:
         inverted = InvertedBitVectorFile(config.bitvector_bits)
         self._entries = {}
         pending: list[LeafEntry] = []
-        for matrix in self.database:
-            rng = np.random.default_rng((config.seed, matrix.source_id))
-            embedded = self._embed_with_padding(matrix, pivot_strategy, rng)
-            standardized = standardize_matrix(matrix.values)
-            self._entries[matrix.source_id] = _MatrixEntry(
-                matrix=matrix, embedded=embedded, standardized=standardized
-            )
-            points = embedded.points()
-            for gene_index, gene_id in enumerate(embedded.gene_ids):
-                payload = self._payload_key(matrix.source_id, gene_index)
-                if bulk:
-                    pending.append(
-                        LeafEntry(
-                            points[gene_index], gene_id, matrix.source_id, payload
-                        )
+        with tracer.span("build", engine=_ENGINE, bulk=bulk):
+            for matrix in self.database:
+                rng = np.random.default_rng((config.seed, matrix.source_id))
+                with tracer.span(
+                    "build.embed",
+                    source=matrix.source_id,
+                    genes=matrix.num_genes,
+                ):
+                    embedded = self._embed_with_padding(
+                        matrix, pivot_strategy, rng
                     )
-                else:
-                    tree.insert(
-                        points[gene_index], gene_id, matrix.source_id, payload
-                    )
-                inverted.add(gene_id, matrix.source_id)
-        if bulk:
-            # Tile the gene-ID dimension first: it is the traversal's most
-            # discriminative axis (exact anchor/neighbor range checks).
-            gene_first = [dim - 1] + list(range(dim - 1))
-            tree.bulk_load(pending, axis_order=gene_first)
-        tree.finalize()
+                standardized = standardize_matrix(matrix.values)
+                self._entries[matrix.source_id] = _MatrixEntry(
+                    matrix=matrix, embedded=embedded, standardized=standardized
+                )
+                points = embedded.points()
+                with tracer.span("build.index_insert", source=matrix.source_id):
+                    for gene_index, gene_id in enumerate(embedded.gene_ids):
+                        payload = self._payload_key(matrix.source_id, gene_index)
+                        if bulk:
+                            pending.append(
+                                LeafEntry(
+                                    points[gene_index],
+                                    gene_id,
+                                    matrix.source_id,
+                                    payload,
+                                )
+                            )
+                        else:
+                            tree.insert(
+                                points[gene_index],
+                                gene_id,
+                                matrix.source_id,
+                                payload,
+                            )
+                with tracer.span("build.inverted_file", source=matrix.source_id):
+                    for gene_id in embedded.gene_ids:
+                        inverted.add(gene_id, matrix.source_id)
+                built_matrices.inc()
+                built_points.inc(matrix.num_genes)
+            if bulk:
+                # Tile the gene-ID dimension first: it is the traversal's
+                # most discriminative axis (exact anchor/neighbor range
+                # checks).
+                with tracer.span("build.bulk_load", points=len(pending)):
+                    gene_first = [dim - 1] + list(range(dim - 1))
+                    tree.bulk_load(pending, axis_order=gene_first)
+            tree.finalize()
         self.pages.resume()
         self.tree = tree
         self.inverted_file = inverted
         self.build_seconds = time.perf_counter() - started
+        metrics.histogram(
+            _names.BUILD_SECONDS, help="index build seconds", engine=_ENGINE
+        ).observe(self.build_seconds)
         return self.build_seconds
 
     def _embed_with_padding(
@@ -226,6 +304,7 @@ class IMGRNEngine:
             pivot_global_iter=config.pivot_global_iter,
             pivot_swap_iter=config.pivot_swap_iter,
             rng=rng,
+            tracer=self.obs.tracer,
         )
         if effective == config.num_pivots:
             return embedded
@@ -262,19 +341,32 @@ class IMGRNEngine:
         """
         if not 0.0 <= gamma < 1.0:
             raise ValidationError(f"gamma must be in [0,1), got {gamma}")
+        tracer = self.obs.tracer
+        pruned_lemma3 = self.obs.metrics.counter(
+            _names.QUERY_PRUNED,
+            help="pairs discarded by pruning",
+            engine=_ENGINE,
+            stage="lemma3",
+        )
         std = standardize_columns(query_matrix.values)
         ids = query_matrix.gene_ids
         length = std.shape[0]
         expected = math.sqrt(2.0 * length)  # Jensen bound, standardized vectors
         survivors: list[tuple[int, int]] = []
-        for s, t in itertools.combinations(range(len(ids)), 2):
-            distance = float(np.linalg.norm(std[:, s] - std[:, t]))
-            bound = markov_edge_upper_bound(distance, expected)
-            if not edge_inference_prunable(bound, gamma):
-                survivors.append((s, t))
-        probabilities = self._inference.pair_block_probabilities(
-            std, survivors, raw=query_matrix.values
-        )
+        with tracer.span(
+            "query.infer.prune", pairs=len(ids) * (len(ids) - 1) // 2
+        ):
+            for s, t in itertools.combinations(range(len(ids)), 2):
+                distance = float(np.linalg.norm(std[:, s] - std[:, t]))
+                bound = markov_edge_upper_bound(distance, expected)
+                if edge_inference_prunable(bound, gamma):
+                    pruned_lemma3.inc()
+                else:
+                    survivors.append((s, t))
+        with tracer.span("query.infer.estimate", pairs=len(survivors)):
+            probabilities = self._inference.pair_block_probabilities(
+                std, survivors, raw=query_matrix.values
+            )
         edges: dict[tuple[int, int], float] = {}
         for s, t in survivors:
             p = probabilities[(s, t)]
@@ -285,54 +377,105 @@ class IMGRNEngine:
     # ------------------------------------------------------------------
     # Query (Fig. 4)
     # ------------------------------------------------------------------
+    def _stage_timer(self, stage: str):
+        """The engine's ``query.stage_seconds`` histogram for ``stage``."""
+        return self.obs.metrics.histogram(
+            _names.STAGE_SECONDS,
+            help="per-query stage wall-clock seconds",
+            engine=_ENGINE,
+            stage=stage,
+        )
+
     def query(
         self,
         query_matrix: GeneFeatureMatrix,
-        gamma: float,
-        alpha: float,
+        *args: float,
+        gamma: float | None = None,
+        alpha: float | None = None,
     ) -> IMGRNResult:
-        """Answer one IM-GRN query ``(M_Q, gamma, alpha)`` (Definition 4)."""
+        """Answer one IM-GRN query ``(M_Q, gamma, alpha)`` (Definition 4).
+
+        ``gamma``/``alpha`` are keyword-only under the unified
+        :class:`repro.core.QueryEngine` API; positional thresholds still
+        work with a :class:`DeprecationWarning`.
+        """
+        gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
         if self.tree is None or self.inverted_file is None:
             raise IndexNotBuiltError("call build() before query()")
         if not 0.0 <= alpha < 1.0:
             raise ValidationError(f"alpha must be in [0,1), got {alpha}")
-        stats = QueryStats()
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
+        mark = metrics.mark()
         self.pages.reset()
         started = time.perf_counter()
-
-        query_graph = self.infer_query_graph(query_matrix, gamma)
-        stats.inference_seconds = time.perf_counter() - started
-        if query_graph.num_edges == 0:
-            # Degenerate query: every edge-free query is contained (with
-            # empty-product probability 1) in any matrix holding its genes.
-            candidate_sources = self._sources_with_all_genes(query_graph.gene_ids)
-            stats.cpu_seconds = time.perf_counter() - started
-            stats.io_accesses = self.pages.accesses
-            stats.candidates = len(candidate_sources)
-            answers = self._refine(
-                query_graph, candidate_sources, gamma, alpha, stats
+        with tracer.span("query", engine=_ENGINE, gamma=gamma, alpha=alpha):
+            with tracer.span("query.infer", genes=query_matrix.num_genes):
+                infer_started = time.perf_counter()
+                query_graph = self.infer_query_graph(query_matrix, gamma)
+                self._stage_timer(_names.STAGE_INFERENCE).observe(
+                    time.perf_counter() - infer_started
+                )
+            if query_graph.num_edges == 0:
+                # Degenerate query: every edge-free query is contained (with
+                # empty-product probability 1) in any matrix holding its
+                # genes.
+                surviving_sources = self._sources_with_all_genes(
+                    query_graph.gene_ids
+                )
+                candidates = len(surviving_sources)
+            else:
+                anchor = self._pick_anchor(query_graph)
+                neighbor_genes = sorted(query_graph.neighbors(anchor))
+                with tracer.span(
+                    "query.traverse",
+                    anchor=anchor,
+                    neighbors=len(neighbor_genes),
+                ):
+                    candidate_pairs = self._traverse(
+                        anchor, neighbor_genes, gamma
+                    )  # {(source_id, neighbor_gene): edge upper bound}
+                with tracer.span("query.filter", pairs=len(candidate_pairs)):
+                    surviving_sources = self._graph_existence_filter(
+                        candidate_pairs, neighbor_genes, alpha
+                    )
+                candidates = sum(
+                    1
+                    for (source, _g) in candidate_pairs
+                    if source in surviving_sources
+                )
+            self._stage_timer(_names.STAGE_RETRIEVE).observe(
+                time.perf_counter() - started
             )
-            stats.answers = len(answers)
-            return IMGRNResult(query_graph, answers, stats)
-
-        anchor = self._pick_anchor(query_graph)
-        neighbor_genes = sorted(query_graph.neighbors(anchor))
-        candidate_pairs = self._traverse(
-            anchor, neighbor_genes, gamma, stats
-        )  # {(source_id, neighbor_gene): edge upper bound}
-
-        surviving_sources = self._graph_existence_filter(
-            candidate_pairs, neighbor_genes, alpha, stats
+            metrics.counter(
+                _names.QUERY_IO, help="page accesses", engine=_ENGINE
+            ).inc(self.pages.accesses)
+            metrics.counter(
+                _names.QUERY_CANDIDATES,
+                help="candidates surviving all pruning",
+                engine=_ENGINE,
+            ).inc(candidates)
+            with tracer.span(
+                "query.refine", candidates=len(surviving_sources)
+            ) as refine_span:
+                refine_started = time.perf_counter()
+                answers = self._refine(
+                    query_graph, surviving_sources, gamma, alpha
+                )
+                self._stage_timer(_names.STAGE_REFINE).observe(
+                    time.perf_counter() - refine_started
+                )
+                refine_span.set(answers=len(answers))
+            metrics.counter(
+                _names.QUERY_ANSWERS, help="answers returned", engine=_ENGINE
+            ).inc(len(answers))
+            metrics.counter(
+                _names.QUERY_COUNT, help="queries answered", engine=_ENGINE
+            ).inc()
+        delta = metrics.since(mark)
+        return IMGRNResult(
+            query_graph, answers, QueryStats.from_metrics(delta), metrics=delta
         )
-        stats.candidates = sum(
-            1 for (source, _g) in candidate_pairs if source in surviving_sources
-        )
-        stats.cpu_seconds = time.perf_counter() - started
-        stats.io_accesses = self.pages.accesses
-
-        answers = self._refine(query_graph, surviving_sources, gamma, alpha, stats)
-        stats.answers = len(answers)
-        return IMGRNResult(query_graph, answers, stats)
 
     def query_topk(
         self,
@@ -350,7 +493,7 @@ class IMGRNEngine:
         """
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
-        result = self.query(query_matrix, gamma, alpha=0.0)
+        result = self.query(query_matrix, gamma=gamma, alpha=0.0)
         result.answers.sort(key=lambda a: (-a.probability, a.source_id))
         del result.answers[k:]
         result.stats.answers = len(result.answers)
@@ -451,12 +594,26 @@ class IMGRNEngine:
         anchor: int,
         neighbor_genes: list[int],
         gamma: float,
-        stats: QueryStats,
     ) -> dict[tuple[int, int], float]:
         assert self.tree is not None and self.inverted_file is not None
         config = self.config
         bits = config.bitvector_bits
         d = config.num_pivots
+        # Hoisted per-stage pruning counters: one attribute add per event
+        # inside consider_pair, no registry lookups on the hot path.
+        metrics = self.obs.metrics
+        pruned_help = "pairs discarded by pruning"
+
+        def pruned(stage: str):
+            return metrics.counter(
+                _names.QUERY_PRUNED, help=pruned_help, engine=_ENGINE, stage=stage
+            )
+
+        pruned_gene_range = pruned("gene_range")
+        pruned_gene_sig = pruned("bitvector_gene")
+        pruned_source_sig = pruned("bitvector_source")
+        pruned_lemma6 = pruned("lemma6")
+        pruned_leaf = pruned("leaf_edge_bound")
 
         qvf_anchor = signature(anchor, bits)
         qvf_neighbors = 0
@@ -494,21 +651,21 @@ class IMGRNEngine:
             if node_s.mbr is None or node_t.mbr is None:
                 return
             if not gene_range_matches(node_s, node_t):
-                stats.pruned_pairs += 1
+                pruned_gene_range.inc()
                 return
             if not signatures_overlap(qvf_anchor, node_s.vf):
-                stats.pruned_pairs += 1
+                pruned_gene_sig.inc()
                 return
             if not signatures_overlap(qvf_neighbors, node_t.vf):
-                stats.pruned_pairs += 1
+                pruned_gene_sig.inc()
                 return
             if (qvd_anchor & node_s.vd & qvd_neighbors & node_t.vd) == 0:
-                stats.pruned_pairs += 1
+                pruned_source_sig.inc()
                 return
             if index_pair_prunable(
                 node_s.x_max(d), node_t.x_min(d), node_t.y_max(d), gamma
             ):
-                stats.pruned_pairs += 1
+                pruned_lemma6.inc()
                 return
             heapq.heappush(queue, (level, next(tie), node_s, node_t))
 
@@ -516,7 +673,7 @@ class IMGRNEngine:
         self.pages.access(root.page_id)
         if root.is_leaf:
             self._scan_leaf_pair(
-                root, root, anchor, neighbor_set, gamma, candidates, stats
+                root, root, anchor, neighbor_set, gamma, candidates, pruned_leaf
             )
             return candidates
         for node_a in root.entries:
@@ -530,7 +687,13 @@ class IMGRNEngine:
                 self.pages.access(node_t.page_id)
             if level == 0:
                 self._scan_leaf_pair(
-                    node_s, node_t, anchor, neighbor_set, gamma, candidates, stats
+                    node_s,
+                    node_t,
+                    anchor,
+                    neighbor_set,
+                    gamma,
+                    candidates,
+                    pruned_leaf,
                 )
                 continue
             for child_s in node_s.entries:
@@ -546,7 +709,7 @@ class IMGRNEngine:
         neighbor_set: set[int],
         gamma: float,
         candidates: dict[tuple[int, int], float],
-        stats: QueryStats,
+        pruned_leaf,
     ) -> None:
         """Fig. 4, lines 16-21: pairwise point checks inside a leaf pair."""
         anchors = [e for e in leaf_s.entries if e.gene_id == anchor]
@@ -561,7 +724,7 @@ class IMGRNEngine:
                 key = (entry_t.source_id, entry_t.gene_id)
                 bound = self._leaf_pair_bound(entry_s, entry_t)
                 if edge_inference_prunable(bound, gamma):
-                    stats.pruned_pairs += 1
+                    pruned_leaf.inc()
                     continue
                 previous = candidates.get(key)
                 if previous is None or bound < previous:
@@ -595,8 +758,20 @@ class IMGRNEngine:
         candidate_pairs: dict[tuple[int, int], float],
         neighbor_genes: list[int],
         alpha: float,
-        stats: QueryStats,
     ) -> list[int]:
+        metrics = self.obs.metrics
+        pruned_missing = metrics.counter(
+            _names.QUERY_PRUNED,
+            help="pairs discarded by pruning",
+            engine=_ENGINE,
+            stage="missing_edge",
+        )
+        pruned_lemma5 = metrics.counter(
+            _names.QUERY_PRUNED,
+            help="pairs discarded by pruning",
+            engine=_ENGINE,
+            stage="lemma5",
+        )
         by_source: dict[int, dict[int, float]] = {}
         for (source, gene), bound in candidate_pairs.items():
             by_source.setdefault(source, {})[gene] = bound
@@ -604,11 +779,11 @@ class IMGRNEngine:
         needed = set(neighbor_genes)
         for source, bounds in sorted(by_source.items()):
             if set(bounds) != needed:
-                stats.pruned_pairs += 1
+                pruned_missing.inc()
                 continue  # some anchor edge has no surviving match
             upper = graph_existence_upper_bound(bounds.values())
             if graph_existence_prunable(upper, alpha):
-                stats.pruned_pairs += 1
+                pruned_lemma5.inc()
                 continue
             survivors.append(source)
         return survivors
@@ -636,10 +811,8 @@ class IMGRNEngine:
         candidate_sources: list[int],
         gamma: float,
         alpha: float,
-        stats: QueryStats,
     ) -> list[IMGRNAnswer]:
         """Exact verification of Definition 4 on the surviving matrices."""
-        started = time.perf_counter()
         answers: list[IMGRNAnswer] = []
         query_edges = [key for key, _p in query_graph.edges()]
         for source in candidate_sources:
@@ -665,5 +838,4 @@ class IMGRNEngine:
             answers.append(
                 IMGRNAnswer(source, Embedding(mapping, probability), probability)
             )
-        stats.refine_seconds = time.perf_counter() - started
         return answers

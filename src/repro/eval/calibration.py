@@ -24,7 +24,7 @@ from collections.abc import Callable
 
 import numpy as np
 
-from ..core.inference import edge_probability_distance
+from ..core.inference import edge_probability
 from ..core.measures import parametric_edge_probability
 from ..core.randomization import default_rng
 from ..errors import ValidationError
@@ -72,7 +72,7 @@ def null_measure_samples(
     for index in range(n_pairs):
         x = draw(gen, length)
         y = draw(gen, length)
-        values[index] = edge_probability_distance(
+        values[index] = edge_probability(
             x, y, n_samples=mc_samples, rng=gen, semantics=semantics
         )
     return values

@@ -4,12 +4,23 @@ These are exactly the three metrics the paper reports for every efficiency
 figure (6 through 12): wall-clock CPU time of candidate retrieval, number of
 page accesses during query answering, and the number of candidates remaining
 after pruning.
+
+Since the observability layer (:mod:`repro.obs`) landed, engines no longer
+hand-thread these fields: every stage records into the engine's
+:class:`~repro.obs.MetricsRegistry`, and a :class:`QueryStats` is carved
+out of the registry at the end of each query via :meth:`QueryStats.from_metrics`
+-- one source of truth for the per-query stats object, the Prometheus/JSON
+exports and the benchmark figures.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
+
+from ..obs import names as _names
+from ..obs import parse_key
 
 __all__ = ["QueryStats", "Stopwatch", "aggregate_stats"]
 
@@ -51,6 +62,35 @@ class QueryStats:
     @property
     def total_seconds(self) -> float:
         return self.cpu_seconds + self.refine_seconds
+
+    @classmethod
+    def from_metrics(cls, delta: Mapping[str, float]) -> "QueryStats":
+        """Build one query's stats from a registry delta.
+
+        ``delta`` is what :meth:`repro.obs.MetricsRegistry.since` returns
+        for the scope of the query; series are matched by canonical name
+        (:mod:`repro.obs.names`) regardless of their ``engine`` label, and
+        ``pruned_pairs`` sums over every pruning-stage label.
+        """
+        stats = cls()
+        for key, value in delta.items():
+            name, labels, suffix = parse_key(key)
+            if name == _names.QUERY_IO:
+                stats.io_accesses += int(value)
+            elif name == _names.QUERY_CANDIDATES:
+                stats.candidates += int(value)
+            elif name == _names.QUERY_ANSWERS:
+                stats.answers += int(value)
+            elif name == _names.QUERY_PRUNED:
+                stats.pruned_pairs += int(value)
+            elif name == _names.STAGE_SECONDS and suffix == "_sum":
+                if f'stage="{_names.STAGE_RETRIEVE}"' in labels:
+                    stats.cpu_seconds += value
+                elif f'stage="{_names.STAGE_REFINE}"' in labels:
+                    stats.refine_seconds += value
+                elif f'stage="{_names.STAGE_INFERENCE}"' in labels:
+                    stats.inference_seconds += value
+        return stats
 
 
 @dataclass

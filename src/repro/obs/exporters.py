@@ -1,0 +1,166 @@
+"""Exporters: metrics as JSON / Prometheus text, spans as Chrome traces.
+
+Three output formats, all dependency-free:
+
+* :func:`metrics_to_json` -- a self-describing JSON document that
+  round-trips through :func:`registry_from_json` (what
+  ``imgrn query --metrics-out`` writes and ``imgrn stats`` reads back);
+* :func:`metrics_to_prometheus` -- the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` / samples, histograms with cumulative
+  ``_bucket{le=...}`` plus ``_sum`` / ``_count``), pinned by a golden
+  test;
+* :func:`chrome_trace` / :func:`write_chrome_trace` -- the Chrome
+  ``trace_event`` JSON (an object with a ``traceEvents`` array) that
+  ``chrome://tracing`` and Perfetto load directly.
+
+Metric names are dotted internally (``query.io_accesses``); Prometheus
+output prefixes ``imgrn_`` and rewrites dots to underscores, with the
+conventional ``_total`` suffix on counters.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from ..errors import ValidationError
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import NoopTracer, Tracer
+
+__all__ = [
+    "metrics_to_json",
+    "registry_from_json",
+    "metrics_to_prometheus",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+_PROM_PREFIX = "imgrn_"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers without a trailing ``.0``."""
+    if math.isfinite(value) and float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_PREFIX + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.collect():
+        base = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            base += "_total"
+        if base not in seen_headers:
+            seen_headers.add(base)
+            if metric.help:
+                lines.append(f"# HELP {base} {metric.help}")
+            lines.append(f"# TYPE {base} {metric.kind}")
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            bounds = [*(_fmt(b) for b in metric.buckets), "+Inf"]
+            for bound, count in zip(bounds, cumulative):
+                labels = _prom_labels(metric.labels, f'le="{bound}"')
+                lines.append(f"{base}_bucket{labels} {count}")
+            labels = _prom_labels(metric.labels)
+            lines.append(f"{base}_sum{labels} {_fmt(metric.sum)}")
+            lines.append(f"{base}_count{labels} {metric.count}")
+        else:
+            labels = _prom_labels(metric.labels)
+            lines.append(f"{base}{labels} {_fmt(metric.value)}")  # type: ignore[attr-defined]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# JSON (round-trippable)
+# ----------------------------------------------------------------------
+def metrics_to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """Serialize the registry to JSON (inverse of :func:`registry_from_json`)."""
+    entries: list[dict] = []
+    for metric in registry.collect():
+        entry: dict = {
+            "name": metric.name,
+            "type": metric.kind,
+            "labels": metric.labels,
+            "help": metric.help,
+        }
+        if isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+            entry["counts"] = list(metric.counts)
+            entry["sum"] = metric.sum
+            entry["count"] = metric.count
+        else:
+            entry["value"] = metric.value  # type: ignore[attr-defined]
+        entries.append(entry)
+    return json.dumps({"version": 1, "metrics": entries}, indent=indent)
+
+
+def registry_from_json(text: str) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from :func:`metrics_to_json` output."""
+    try:
+        document = json.loads(text)
+        entries = document["metrics"]
+    except (json.JSONDecodeError, TypeError, KeyError) as exc:
+        raise ValidationError(f"not a metrics JSON document: {exc}") from exc
+    registry = MetricsRegistry()
+    for entry in entries:
+        name = entry["name"]
+        labels = dict(entry.get("labels") or {})
+        help_text = entry.get("help", "")
+        kind = entry.get("type")
+        if kind == "counter":
+            counter = registry.counter(name, help=help_text, **labels)
+            counter.inc(float(entry["value"]))
+        elif kind == "gauge":
+            registry.gauge(name, help=help_text, **labels).set(
+                float(entry["value"])
+            )
+        elif kind == "histogram":
+            histogram = registry.histogram(
+                name,
+                help=help_text,
+                buckets=tuple(entry["buckets"]),
+                **labels,
+            )
+            histogram.counts = [int(c) for c in entry["counts"]]
+            histogram.sum = float(entry["sum"])
+            histogram.count = int(entry["count"])
+        else:
+            raise ValidationError(f"unknown metric type {kind!r} for {name!r}")
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def chrome_trace(tracer: Tracer | NoopTracer) -> dict:
+    """The tracer's spans as a Chrome ``trace_event`` document."""
+    return {
+        "traceEvents": tracer.chrome_trace_events(),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "dropped_spans": tracer.dropped},
+    }
+
+
+def write_chrome_trace(tracer: Tracer | NoopTracer, path: str | Path) -> Path:
+    """Write the Chrome trace JSON to ``path`` and return it."""
+    target = Path(path)
+    target.write_text(json.dumps(chrome_trace(tracer), indent=1), encoding="utf-8")
+    return target

@@ -1,0 +1,289 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Zero-dependency, Prometheus-shaped instrumentation primitives. A
+:class:`MetricsRegistry` owns a flat namespace of metrics keyed by
+``(name, labels)``; engines get-or-create their series once per query
+(or once per engine) and then update plain Python attributes on the hot
+path -- an update is one float add, no locking, no dict lookups.
+
+Two consumption styles are supported:
+
+* **cumulative** (Prometheus style): :meth:`MetricsRegistry.collect`
+  and the exporters in :mod:`repro.obs.exporters` render the running
+  totals of the whole process / engine lifetime;
+* **scoped deltas**: :meth:`MetricsRegistry.mark` snapshots the
+  monotonic state and :meth:`MetricsRegistry.since` returns what changed
+  -- this is how one query's :class:`repro.eval.counters.QueryStats` is
+  carved out of the shared registry.
+
+The process-global default registry is reachable via :func:`get_registry`;
+engines use it unless their :class:`repro.config.ObservabilityConfig`
+asks for a private one.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections.abc import Mapping
+
+from ..errors import ValidationError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "metric_key",
+    "parse_key",
+]
+
+#: Default latency buckets (seconds): sub-millisecond to tens of seconds.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def metric_key(
+    name: str, labels: Mapping[str, str] | None = None, suffix: str = ""
+) -> str:
+    """Flat snapshot key: ``name{k="v",...}suffix`` (labels sorted)."""
+    if labels:
+        inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+        return f"{name}{{{inner}}}{suffix}"
+    return f"{name}{suffix}"
+
+
+def parse_key(key: str) -> tuple[str, str, str]:
+    """Split a snapshot key into ``(name, labels_text, suffix)``.
+
+    The inverse of :func:`metric_key` for labelled keys; unlabelled keys
+    cannot carry a suffix (the registry always labels its histograms),
+    so they parse as ``(key, "", "")``.
+    """
+    if "{" not in key:
+        return key, "", ""
+    name, _, rest = key.partition("{")
+    labels, _, suffix = rest.rpartition("}")
+    return name, labels, suffix
+
+
+def _check_name(name: str) -> None:
+    if not name or any(c in name for c in '{}" =,\n'):
+        raise ValidationError(f"invalid metric name {name!r}")
+
+
+class _Metric:
+    """Shared identity of one series: name, sorted labels, help text."""
+
+    __slots__ = ("name", "labels", "help")
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: Mapping[str, str], help: str = ""):
+        self.name = name
+        self.labels = {k: str(labels[k]) for k in sorted(labels)}
+        self.help = help
+
+    @property
+    def key(self) -> str:
+        return metric_key(self.name, self.labels)
+
+
+class Counter(_Metric):
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Mapping[str, str], help: str = ""):
+        super().__init__(name, labels, help)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge(_Metric):
+    """Point-in-time value that may go up or down."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Mapping[str, str], help: str = ""):
+        super().__init__(name, labels, help)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram(_Metric):
+    """Fixed-boundary histogram with a running sum and count.
+
+    ``buckets`` are upper bounds (ascending); an implicit ``+Inf`` bucket
+    catches the tail, exactly like Prometheus histograms.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, labels, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValidationError(
+                f"histogram buckets must be ascending and non-empty: {buckets}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus-style cumulative bucket counts (ending at +Inf)."""
+        out: list[int] = []
+        total = 0
+        for c in self.counts:
+            total += c
+            out.append(total)
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home of all metric series of one process or engine."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Get-or-create
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self, cls: type[_Metric], name: str, help: str, labels: dict, **extra
+    ) -> _Metric:
+        _check_name(name)
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, labels, help=help, **extra)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise ValidationError(
+                f"metric {key} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots and deltas
+    # ------------------------------------------------------------------
+    def collect(self) -> list[_Metric]:
+        """All metrics, sorted by key (stable export order)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``{key: value}`` view of the current state.
+
+        Counters and gauges appear under their plain key; histograms
+        contribute ``<key>_sum`` and ``<key>_count`` entries.
+        """
+        out: dict[str, float] = {}
+        for metric in self.collect():
+            if isinstance(metric, Histogram):
+                out[metric.key + "_sum"] = metric.sum
+                out[metric.key + "_count"] = float(metric.count)
+            else:
+                out[metric.key] = float(metric.value)  # type: ignore[attr-defined]
+        return out
+
+    def mark(self) -> dict[str, float]:
+        """Snapshot to later diff against with :meth:`since`."""
+        return self.snapshot()
+
+    def since(self, mark: Mapping[str, float]) -> dict[str, float]:
+        """What changed since ``mark``: current values minus the baseline.
+
+        Counters and histogram sums/counts are monotonic, so the delta is
+        exactly the activity of the marked scope even on a registry shared
+        by many engines. Gauges report their *current* value (a gauge has
+        no meaningful delta).
+        """
+        out: dict[str, float] = {}
+        for key, value in self.snapshot().items():
+            if isinstance(self._metrics.get(key), Gauge):
+                out[key] = value
+            else:
+                out[key] = value - mark.get(key, 0.0)
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered series (tests / process recycling)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide default registry (what ``imgrn stats`` renders).
+GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return GLOBAL_REGISTRY

@@ -1,0 +1,65 @@
+"""Canonical metric and span names of the observability layer.
+
+Every engine records the same series under these names so dashboards,
+exporters and :meth:`repro.eval.counters.QueryStats.from_metrics` never
+have to guess a spelling. The full taxonomy (labels, units, which stage
+observes what) is documented in ``docs/observability.md``.
+
+Counters carry an ``engine`` label (``imgrn``, ``baseline``,
+``linear_scan``, ``measure_scan``); ``query.pruned_pairs`` additionally
+carries a ``stage`` label naming the pruning rule that fired.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "QUERY_COUNT",
+    "QUERY_IO",
+    "QUERY_CANDIDATES",
+    "QUERY_ANSWERS",
+    "QUERY_PRUNED",
+    "STAGE_SECONDS",
+    "BUILD_SECONDS",
+    "BUILD_MATRICES",
+    "BUILD_POINTS",
+    "INFERENCE_PAIRS",
+    "INFERENCE_CACHE_HITS",
+    "INFERENCE_CACHE_MISSES",
+    "STAGE_INFERENCE",
+    "STAGE_RETRIEVE",
+    "STAGE_REFINE",
+]
+
+# -- counters ----------------------------------------------------------
+#: Queries answered (label: engine).
+QUERY_COUNT = "query.count"
+#: Page accesses / simulated data pages read while answering (label: engine).
+QUERY_IO = "query.io_accesses"
+#: Candidates surviving all pruning (label: engine).
+QUERY_CANDIDATES = "query.candidates"
+#: Final Definition-4 answers returned (label: engine).
+QUERY_ANSWERS = "query.answers"
+#: Node/gene/matrix pairs discarded by pruning (labels: engine, stage).
+QUERY_PRUNED = "query.pruned_pairs"
+#: Edge probabilities actually estimated (cache misses + uncached).
+INFERENCE_PAIRS = "inference.pairs"
+#: Edge-probability cache hits / misses of the batched engine.
+INFERENCE_CACHE_HITS = "inference.cache_hits"
+INFERENCE_CACHE_MISSES = "inference.cache_misses"
+#: Matrices / index points registered during build (label: engine).
+BUILD_MATRICES = "build.matrices"
+BUILD_POINTS = "build.points"
+
+# -- histograms (seconds) ----------------------------------------------
+#: Per-query stage wall-clock (labels: engine, stage; see STAGE_*).
+STAGE_SECONDS = "query.stage_seconds"
+#: Index build wall-clock (label: engine).
+BUILD_SECONDS = "build.seconds"
+
+# -- stage label values of STAGE_SECONDS -------------------------------
+#: Query-graph inference (a sub-measure of the retrieve stage).
+STAGE_INFERENCE = "inference"
+#: Candidate retrieval: traversal + all pruning (the paper's "CPU time").
+STAGE_RETRIEVE = "retrieve"
+#: Exact refinement of surviving candidates.
+STAGE_REFINE = "refine"

@@ -1,0 +1,193 @@
+"""Tracing spans: nested context managers recording wall and CPU time.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("query", engine="imgrn"):
+        with tracer.span("query.refine", candidates=3) as span:
+            ...
+            span.set(answers=2)
+
+Finished spans accumulate on ``tracer.spans`` (bounded by ``capacity``)
+and export to the Chrome ``trace_event`` format via
+:func:`repro.obs.exporters.write_chrome_trace` for flame viewing in
+``chrome://tracing`` / Perfetto.
+
+The default tracer everywhere is :data:`NOOP_TRACER`: its ``span()``
+returns one shared do-nothing context manager, so instrumented hot paths
+pay only a method call and an (empty) kwargs dict when tracing is off --
+the overhead budget pinned by ``tests/test_obs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..errors import ValidationError
+
+__all__ = ["Span", "Tracer", "NoopTracer", "NOOP_SPAN", "NOOP_TRACER"]
+
+
+class Span:
+    """One traced region: name, attributes, wall/CPU interval, nesting."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start",
+        "end",
+        "cpu_start",
+        "cpu_end",
+        "depth",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.cpu_start = 0.0
+        self.cpu_end = 0.0
+        self.depth = 0
+        self._tracer = tracer
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes to an open span (shows up in ``args``)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.end - self.start
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.cpu_end - self.cpu_start
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.depth = len(tracer._stack)
+        tracer._stack.append(self)
+        self.cpu_start = time.process_time()
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end = time.perf_counter()
+        self.cpu_end = time.process_time()
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        else:  # pragma: no cover - misuse guard (out-of-order exit)
+            try:
+                tracer._stack.remove(self)
+            except ValueError:
+                pass
+        if len(tracer.spans) < tracer.capacity:
+            tracer.spans.append(self)
+        else:
+            tracer.dropped += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, depth={self.depth}, "
+            f"wall={self.wall_seconds:.6f}s)"
+        )
+
+
+class Tracer:
+    """Collects nested spans; export with :mod:`repro.obs.exporters`."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1_000_000):
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """A new span context manager; record by entering it."""
+        return Span(self, name, attrs)
+
+    def reset(self) -> None:
+        """Drop recorded spans (the epoch is kept)."""
+        self.spans.clear()
+        self._stack.clear()
+        self.dropped = 0
+
+    def chrome_trace_events(self) -> list[dict]:
+        """Finished spans as Chrome ``trace_event`` complete ("X") events.
+
+        Timestamps are microseconds relative to the tracer's epoch, which
+        is what ``chrome://tracing`` / Perfetto expect; span attributes
+        travel in ``args``.
+        """
+        pid = os.getpid()
+        events: list[dict] = []
+        for span in sorted(self.spans, key=lambda s: s.start):
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 1,
+                    "ts": (span.start - self._epoch) * 1e6,
+                    "dur": span.wall_seconds * 1e6,
+                    "args": {
+                        **{k: _jsonable(v) for k, v in span.attrs.items()},
+                        "cpu_seconds": span.cpu_seconds,
+                        "depth": span.depth,
+                    },
+                }
+            )
+        return events
+
+
+def _jsonable(value: object) -> object:
+    """Coerce span attributes to JSON-safe scalars."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class _NoopSpan:
+    """Shared do-nothing span: enter/exit/set are all free."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+
+class NoopTracer:
+    """The default tracer: records nothing, costs ~nothing."""
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+    spans: tuple = ()
+
+    def span(self, name: str, **attrs: object) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def reset(self) -> None:
+        return None
+
+    def chrome_trace_events(self) -> list[dict]:
+        return []
+
+
+NOOP_SPAN = _NoopSpan()
+NOOP_TRACER = NoopTracer()

@@ -1,0 +1,102 @@
+"""Tests of the observability CLI: ``imgrn query`` and ``imgrn stats``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+#: Small-but-real workload: a few matrices is enough for span coverage.
+QUERY_ARGS = [
+    "query",
+    "--n-matrices",
+    "6",
+    "--genes-range",
+    "8",
+    "12",
+    "--n-q",
+    "3",
+    "--queries",
+    "1",
+    "--seed",
+    "11",
+]
+
+
+class TestQuerySubcommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["query"])
+        assert args.engine == "imgrn"
+        assert args.n_matrices == 40
+        assert args.genes_range == [20, 40]
+        assert args.trace_out is None
+
+    def test_trace_covers_all_query_phases(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        exit_code = main([*QUERY_ARGS, "--trace-out", str(trace_path)])
+        assert exit_code == 0
+        document = json.loads(trace_path.read_text(encoding="utf-8"))
+        span_names = {event["name"] for event in document["traceEvents"]}
+        assert {
+            "query",
+            "query.infer",
+            "query.traverse",
+            "query.filter",
+            "query.refine",
+        } <= span_names
+        out = capsys.readouterr().out
+        assert "1 queries over 6 matrices" in out
+
+    def test_metrics_and_prometheus_out(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        prom_path = tmp_path / "metrics.prom"
+        exit_code = main(
+            [
+                *QUERY_ARGS,
+                "--metrics-out",
+                str(metrics_path),
+                "--prometheus-out",
+                str(prom_path),
+            ]
+        )
+        assert exit_code == 0
+        document = json.loads(metrics_path.read_text(encoding="utf-8"))
+        names = {entry["name"] for entry in document["metrics"]}
+        assert "query.io_accesses" in names
+        assert "query.stage_seconds" in names
+        prom = prom_path.read_text(encoding="utf-8")
+        assert 'imgrn_query_count_total{engine="imgrn"} 1' in prom
+
+    @pytest.mark.parametrize("engine", ["linear-scan", "baseline"])
+    def test_other_engines(self, engine, capsys):
+        assert main([*QUERY_ARGS, "--engine", engine]) == 0
+        assert engine in capsys.readouterr().out
+
+
+class TestStatsSubcommand:
+    @pytest.fixture()
+    def metrics_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main([*QUERY_ARGS, "--metrics-out", str(path)]) == 0
+        return path
+
+    def test_table(self, metrics_file, capsys):
+        assert main(["stats", str(metrics_file)]) == 0
+        out = capsys.readouterr().out
+        assert 'query.count{engine="imgrn"}' in out
+
+    def test_json(self, metrics_file, capsys):
+        assert main(["stats", str(metrics_file), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+
+    def test_prometheus(self, metrics_file, capsys):
+        exit_code = main(["stats", str(metrics_file), "--format", "prometheus"])
+        assert exit_code == 0
+        assert "# TYPE imgrn_query_count_total counter" in capsys.readouterr().out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 1
+        assert "no metrics file" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""The unified engine API: QueryEngine protocol conformance, the
+keyword-only threshold shim, registry-sourced stats, and the
+`edge_probability` dispatcher with its deprecated aliases."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineEngine,
+    EngineConfig,
+    IMGRNEngine,
+    IMGRNResult,
+    LinearScanEngine,
+    MeasureScanEngine,
+    ObservabilityConfig,
+    QueryEngine,
+    edge_probability,
+    edge_probability_correlation,
+    edge_probability_distance,
+    edge_probability_exact,
+    edge_probability_matrix,
+)
+from repro.core.inference import (
+    _correlation_probability,
+    _distance_probability,
+    _exact_probability,
+    _matrix_probability,
+)
+from repro.errors import ValidationError
+
+GAMMA, ALPHA = 0.5, 0.3
+
+#: Private registries keep protocol tests independent of suite ordering.
+PROTOCOL_CONFIG = EngineConfig(
+    mc_samples=64,
+    seed=11,
+    observability=ObservabilityConfig(shared_registry=False),
+)
+
+
+def _engine_factories():
+    return [
+        ("imgrn", lambda db: IMGRNEngine(db, PROTOCOL_CONFIG)),
+        ("baseline", lambda db: BaselineEngine(db, PROTOCOL_CONFIG)),
+        ("linear_scan", lambda db: LinearScanEngine(db, PROTOCOL_CONFIG)),
+        (
+            "measure_scan",
+            lambda db: MeasureScanEngine(db, config=PROTOCOL_CONFIG),
+        ),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,factory", _engine_factories(), ids=lambda p: p if isinstance(p, str) else ""
+)
+class TestQueryEngineProtocol:
+    def test_conforms_structurally(self, small_database, name, factory):
+        engine = factory(small_database)
+        assert isinstance(engine, QueryEngine)
+
+    def test_build_then_keyword_query(
+        self, small_database, query_workload, name, factory
+    ):
+        engine = factory(small_database)
+        assert not engine.is_built
+        build_seconds = engine.build()
+        assert engine.is_built
+        assert isinstance(build_seconds, float) and build_seconds >= 0.0
+        result = engine.query(query_workload[0], gamma=GAMMA, alpha=ALPHA)
+        assert isinstance(result, IMGRNResult)
+        assert result.stats.io_accesses >= 0
+        assert result.stats.candidates >= len(result.answers)
+
+    def test_positional_thresholds_deprecated_but_equivalent(
+        self, small_database, query_workload, name, factory
+    ):
+        engine = factory(small_database)
+        engine.build()
+        query = query_workload[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            keyword = engine.query(query, gamma=GAMMA, alpha=ALPHA)
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            positional = engine.query(query, GAMMA, ALPHA)
+        assert positional.answer_sources() == keyword.answer_sources()
+
+    def test_duplicate_thresholds_rejected(
+        self, small_database, query_workload, name, factory
+    ):
+        engine = factory(small_database)
+        engine.build()
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                engine.query(query_workload[0], GAMMA, gamma=GAMMA, alpha=ALPHA)
+
+    def test_stats_sourced_from_metrics_delta(
+        self, small_database, query_workload, name, factory
+    ):
+        engine = factory(small_database)
+        engine.build()
+        result = engine.query(query_workload[0], gamma=GAMMA, alpha=ALPHA)
+        assert result.metrics, "per-query metrics delta must be attached"
+        label = f'engine="{name}"'
+        io_key = f"query.io_accesses{{{label}}}"
+        assert result.metrics[io_key] == float(result.stats.io_accesses)
+        candidates_key = f"query.candidates{{{label}}}"
+        assert result.metrics[candidates_key] == float(result.stats.candidates)
+        assert result.metrics[f"query.count{{{label}}}"] == 1.0
+
+
+class TestEdgeProbabilityDispatcher:
+    @staticmethod
+    def _pair(rng):
+        return rng.normal(size=12), rng.normal(size=12)
+
+    def test_distance_is_default(self, rng):
+        x, y = self._pair(rng)
+        assert edge_probability(
+            x, y, n_samples=64, rng=np.random.default_rng(3)
+        ) == _distance_probability(x, y, n_samples=64, rng=np.random.default_rng(3))
+
+    def test_each_method_matches_private_impl(self, rng):
+        x, y = self._pair(rng)
+        assert edge_probability(
+            x, y, method="correlation", n_samples=64, rng=np.random.default_rng(3)
+        ) == _correlation_probability(
+            x, y, n_samples=64, rng=np.random.default_rng(3)
+        )
+        x5, y5 = x[:5], y[:5]
+        assert edge_probability(x5, y5, method="exact") == _exact_probability(x5, y5)
+        matrix = rng.normal(size=(10, 4))
+        np.testing.assert_array_equal(
+            edge_probability(matrix, method="matrix", n_samples=32, seed=5),
+            _matrix_probability(matrix, n_samples=32, seed=5),
+        )
+
+    def test_method_validation(self, rng):
+        x, y = self._pair(rng)
+        with pytest.raises(ValidationError, match="method"):
+            edge_probability(x, y, method="bogus")
+        with pytest.raises(ValidationError, match="matrix"):
+            edge_probability(x, y, method="matrix")
+        with pytest.raises(ValidationError, match="both"):
+            edge_probability(x, method="distance")
+
+    def test_aliases_warn_and_delegate(self, rng):
+        x, y = self._pair(rng)
+        cases = [
+            (edge_probability_distance, (x, y), {"n_samples": 32}),
+            (edge_probability_correlation, (x, y), {"n_samples": 32}),
+            (edge_probability_exact, (x[:5], y[:5]), {}),
+            (edge_probability_matrix, (rng.normal(size=(8, 3)),), {"n_samples": 32}),
+        ]
+        for alias, args, kwargs in cases:
+            with pytest.warns(DeprecationWarning, match="edge_probability"):
+                value = alias(*args, **kwargs)
+            assert value is not None

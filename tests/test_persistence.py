@@ -75,3 +75,56 @@ class TestSaveLoad:
         np.savez(path, foo=np.zeros(3))
         with pytest.raises(ValidationError):
             load_engine(path)
+
+
+def _rewrite_meta(path, mutate):
+    """Load an engine archive, apply ``mutate`` to its meta dict, re-save."""
+    import json
+
+    with np.load(path) as archive:
+        payload = {key: archive[key] for key in archive.files}
+    meta = json.loads(bytes(payload["meta"]).decode("utf-8"))
+    mutate(meta)
+    payload["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+
+
+class TestConfigCompatibility:
+    """Archives from older/newer versions load with config defaults."""
+
+    def test_config_from_dict_tolerates_unknown_and_missing(self):
+        from repro.config import EngineConfig
+        from repro.core.persistence import _config_from_dict
+
+        config = _config_from_dict(
+            {
+                "num_pivots": 4,
+                "from_the_future": True,
+                "inference": {"cache_size": 99, "also_new": 1},
+            }
+        )
+        assert config.num_pivots == 4
+        assert config.inference.cache_size == 99
+        # everything absent from the dict falls back to the defaults
+        defaults = EngineConfig()
+        assert config.bitvector_bits == defaults.bitvector_bits
+        assert config.observability == defaults.observability
+
+    def test_archive_missing_observability_loads(
+        self, built_engine, query_workload, tmp_path
+    ):
+        path = tmp_path / "old.npz"
+        save_engine(built_engine, path)
+
+        def mutate(meta):
+            del meta["config"]["observability"]
+            meta["config"]["future_knob"] = 123
+
+        _rewrite_meta(path, mutate)
+        loaded = load_engine(path)
+        assert loaded.config.observability == built_engine.config.observability
+        original = built_engine.query(query_workload[0], gamma=0.5, alpha=0.2)
+        restored = loaded.query(query_workload[0], gamma=0.5, alpha=0.2)
+        assert restored.answer_sources() == original.answer_sources()
