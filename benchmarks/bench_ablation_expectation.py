@@ -33,7 +33,9 @@ def setup(bench_seed):
     for mode in ("jensen", "mc"):
         engine = IMGRNEngine(
             database,
-            EngineConfig(expectation_mode=mode, expectation_samples=64, seed=bench_seed),
+            EngineConfig(
+                expectation_mode=mode, expectation_samples=64, seed=bench_seed
+            ),
         )
         engine.build()
         engines[mode] = engine

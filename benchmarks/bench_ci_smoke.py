@@ -1,0 +1,169 @@
+"""CI smoke benchmark: small fig06 + fig13 runs with machine-readable output.
+
+Runs laptop-second-scale versions of the two headline experiments --
+IM-GRN vs Baseline querying (Fig. 6) and serial vs parallel index
+construction (Fig. 13) -- and writes the measurements to ``BENCH_CI.json``.
+The CI ``bench-smoke`` job compares that file against the committed
+``benchmarks/baseline.json`` with :mod:`check_regression` and fails the
+build on a regression.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ci_smoke.py --out BENCH_CI.json
+    PYTHONPATH=src python benchmarks/bench_ci_smoke.py --write-baseline
+
+Counters in the output are deterministic (fixed seeds); ``*_seconds`` keys
+are wall-clock and only gate on slowdowns beyond the tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.config import BuildConfig, EngineConfig, ObservabilityConfig, SyntheticConfig
+from repro.core.baseline import BaselineEngine
+from repro.core.query import IMGRNEngine
+from repro.data.queries import generate_query_workload
+from repro.data.synthetic import generate_database
+
+SEED = 7
+GAMMA = ALPHA = 0.5
+
+#: Flags shared by every engine: private registries keep the bench's
+#: counters isolated from anything else in the process.
+_OBS = ObservabilityConfig(shared_registry=False)
+
+
+def bench_fig06_small() -> dict[str, float]:
+    """IM-GRN vs Baseline on a 20-matrix Uni database, 3 queries."""
+    database = generate_database(
+        SyntheticConfig(weights="uni", genes_range=(20, 40), seed=SEED), 20
+    )
+    queries = generate_query_workload(database, n_q=4, count=3, rng=SEED)
+
+    engine = IMGRNEngine(database, EngineConfig(seed=SEED, observability=_OBS))
+    imgrn_build_seconds = engine.build()
+    started = time.perf_counter()
+    imgrn_results = [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries]
+    imgrn_query_seconds = time.perf_counter() - started
+
+    baseline = BaselineEngine(database, EngineConfig(seed=SEED, observability=_OBS))
+    baseline_build_seconds = baseline.build()
+    started = time.perf_counter()
+    baseline_results = [baseline.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries]
+    baseline_query_seconds = time.perf_counter() - started
+
+    imgrn_answers = sum(len(r.answers) for r in imgrn_results)
+    baseline_answers = sum(len(r.answers) for r in baseline_results)
+    assert imgrn_answers == baseline_answers, "engines disagree on answers"
+    return {
+        "imgrn_build_seconds": imgrn_build_seconds,
+        "imgrn_query_seconds": imgrn_query_seconds,
+        "imgrn_candidates": float(sum(r.stats.candidates for r in imgrn_results)),
+        "imgrn_io_accesses": float(sum(r.stats.io_accesses for r in imgrn_results)),
+        "imgrn_answers": float(imgrn_answers),
+        "baseline_build_seconds": baseline_build_seconds,
+        "baseline_query_seconds": baseline_query_seconds,
+        "baseline_answers": float(baseline_answers),
+    }
+
+
+def bench_fig13_small() -> dict[str, float]:
+    """Serial vs 4-worker sharded build on a 24-matrix database."""
+    database = generate_database(
+        SyntheticConfig(weights="uni", genes_range=(30, 60), seed=SEED), 24
+    )
+    serial = IMGRNEngine(
+        database,
+        EngineConfig(
+            seed=SEED,
+            build=BuildConfig(workers=0, shard_size=3),
+            observability=_OBS,
+        ),
+    )
+    serial_seconds = serial.build()
+    parallel = IMGRNEngine(
+        database,
+        EngineConfig(
+            seed=SEED,
+            build=BuildConfig(workers=4, shard_size=3),
+            observability=_OBS,
+        ),
+    )
+    parallel_seconds = parallel.build()
+
+    # The parallel path must agree with the serial reference bit-for-bit.
+    for sid in serial._entries:
+        a = serial._entries[sid].embedded
+        b = parallel._entries[sid].embedded
+        assert a.x.tobytes() == b.x.tobytes(), f"embedding x diverged: {sid}"
+        assert a.y.tobytes() == b.y.tobytes(), f"embedding y diverged: {sid}"
+    return {
+        "serial_build_seconds": serial_seconds,
+        "workers4_build_seconds": parallel_seconds,
+        "speedup_workers4": serial_seconds / parallel_seconds
+        if parallel_seconds > 0
+        else 0.0,
+        "index_pages": float(serial.pages.num_pages),
+        "total_points": float(serial.database.total_genes()),
+    }
+
+
+#: Floors written into the baseline: keys that must stay >= the floor value.
+#: ``speedup_workers4`` is only enforced on multi-core runners (see
+#: check_regression.py) -- a 1-CPU box cannot show a parallel speedup.
+FLOORS = {"fig13_small.speedup_workers4": 2.0}
+
+
+def run() -> dict[str, object]:
+    benches = {}
+    for name, fn in (
+        ("fig06_small", bench_fig06_small),
+        ("fig13_small", bench_fig13_small),
+    ):
+        started = time.perf_counter()
+        benches[name] = fn()
+        benches[name]["wall_seconds"] = time.perf_counter() - started
+        print(f"{name}: {json.dumps(benches[name], indent=2, sort_keys=True)}")
+    return {
+        "meta": {
+            "seed": SEED,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "benches": benches,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_CI.json", help="output JSON path")
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="also refresh benchmarks/baseline.json (with floors) from this run",
+    )
+    args = parser.parse_args()
+
+    payload = run()
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out}")
+    if args.write_baseline:
+        baseline_path = Path(__file__).parent / "baseline.json"
+        baseline = dict(payload)
+        baseline["floors"] = FLOORS
+        baseline_path.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

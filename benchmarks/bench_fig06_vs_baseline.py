@@ -43,13 +43,17 @@ def uni_setup(bench_seed):
 
 def test_imgrn_query_speed(benchmark, uni_setup):
     engine, _baseline, queries = uni_setup
-    results = benchmark(lambda: [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries])
+    results = benchmark(
+        lambda: [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries]
+    )
     assert len(results) == NUM_QUERIES
 
 
 def test_baseline_query_speed(benchmark, uni_setup):
     _engine, baseline, queries = uni_setup
-    results = benchmark(lambda: [baseline.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries])
+    results = benchmark(
+        lambda: [baseline.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries]
+    )
     assert len(results) == NUM_QUERIES
 
 

@@ -40,7 +40,10 @@ def workloads(bench_seed):
 def test_query_speed_vs_pivots(benchmark, workloads, d):
     workload = workloads[("uni", d)]
     benchmark.pedantic(
-        lambda: [workload.engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in workload.queries],
+        lambda: [
+            workload.engine.query(q, gamma=GAMMA, alpha=ALPHA)
+            for q in workload.queries
+        ],
         rounds=3,
         iterations=1,
     )

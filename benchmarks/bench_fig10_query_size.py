@@ -34,7 +34,10 @@ def query_sets(uni_workload, gau_workload, bench_seed):
 def test_query_speed_vs_nq(benchmark, uni_workload, query_sets, n_q):
     queries = query_sets[("uni", n_q)]
     benchmark.pedantic(
-        lambda: [uni_workload.engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in queries],
+        lambda: [
+            uni_workload.engine.query(q, gamma=GAMMA, alpha=ALPHA)
+            for q in queries
+        ],
         rounds=3,
         iterations=1,
     )

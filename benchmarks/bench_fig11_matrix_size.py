@@ -38,7 +38,10 @@ def workloads(bench_seed):
 def test_query_speed_vs_matrix_width(benchmark, workloads, genes_range):
     workload = workloads[("uni", genes_range)]
     benchmark.pedantic(
-        lambda: [workload.engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in workload.queries],
+        lambda: [
+            workload.engine.query(q, gamma=GAMMA, alpha=ALPHA)
+            for q in workload.queries
+        ],
         rounds=3,
         iterations=1,
     )

@@ -36,7 +36,10 @@ def workloads(bench_seed):
 def test_query_speed_vs_database_size(benchmark, workloads, n):
     workload = workloads[("uni", n)]
     benchmark.pedantic(
-        lambda: [workload.engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in workload.queries],
+        lambda: [
+            workload.engine.query(q, gamma=GAMMA, alpha=ALPHA)
+            for q in workload.queries
+        ],
         rounds=3,
         iterations=1,
     )

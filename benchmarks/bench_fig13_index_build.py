@@ -9,7 +9,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import scaled, write_table
-from repro.config import EngineConfig, SyntheticConfig
+from repro.config import BuildConfig, EngineConfig, SyntheticConfig
 from repro.core.query import IMGRNEngine
 from repro.data.synthetic import generate_database
 from repro.eval.experiments import ExperimentResult
@@ -50,6 +50,56 @@ def test_build_speed_vs_matrix_width(benchmark, databases, genes_range, bench_se
 
     engine = benchmark.pedantic(build, rounds=1, iterations=1)
     assert engine.is_built
+
+
+@pytest.mark.parametrize("workers", (0, 2, 4))
+def test_build_speed_vs_workers(benchmark, databases, workers, bench_seed):
+    """Tentpole sweep: parallel sharded build vs the serial reference."""
+    database = databases[("uni", "range", RANGES[-1])]
+    config = EngineConfig(
+        seed=bench_seed,
+        build=BuildConfig(workers=workers, shard_size=8),
+    )
+
+    def build():
+        engine = IMGRNEngine(database, config)
+        engine.build()
+        return engine
+
+    engine = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert engine.is_built
+
+
+def test_figure13_workers_series(benchmark, databases, bench_seed):
+    """Build-time series across worker counts (written for EXPERIMENTS.md)."""
+    database = databases[("uni", "range", RANGES[-1])]
+
+    def sweep():
+        result = ExperimentResult(name="fig13_parallel_build", x_label="workers")
+        serial_seconds = None
+        for workers in (0, 2, 4):
+            engine = IMGRNEngine(
+                database,
+                EngineConfig(
+                    seed=bench_seed,
+                    build=BuildConfig(workers=workers, shard_size=8),
+                ),
+            )
+            seconds = engine.build()
+            if serial_seconds is None:
+                serial_seconds = seconds
+            result.rows.append(
+                {
+                    "workers": float(workers),
+                    "build_seconds": seconds,
+                    "speedup": serial_seconds / seconds if seconds else 0.0,
+                }
+            )
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_table("fig13_parallel_build", format_table(result))
+    assert all(row["build_seconds"] > 0 for row in result.rows)
 
 
 def test_figure13_series(benchmark, databases, bench_seed):

@@ -1,0 +1,111 @@
+"""Compare a BENCH_CI.json run against the committed benchmark baseline.
+
+Gate semantics:
+
+* ``*seconds*`` keys are wall-clock: they fail only when the new value is
+  slower than ``baseline * (1 + tolerance)``. Getting faster never fails.
+* every other key is a deterministic counter: it fails when the relative
+  difference exceeds the tolerance in either direction.
+* the baseline may carry a ``floors`` mapping (``"bench.key" -> minimum``);
+  a floored key fails when the measured value drops below the minimum.
+  Floors on ``speedup*`` keys are skipped on machines with fewer than four
+  CPUs -- a 1-CPU box cannot demonstrate a parallel speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --new BENCH_CI.json --baseline benchmarks/baseline.json --tolerance 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def _is_seconds_key(key: str) -> bool:
+    return "seconds" in key
+
+
+def compare(
+    new: dict,
+    baseline: dict,
+    tolerance: float,
+    cpu_count: int | None = None,
+) -> list[str]:
+    """Return a list of human-readable failures (empty == gate passes)."""
+    failures: list[str] = []
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+
+    new_benches = new.get("benches", {})
+    base_benches = baseline.get("benches", {})
+    for bench, base_metrics in sorted(base_benches.items()):
+        got_metrics = new_benches.get(bench)
+        if got_metrics is None:
+            failures.append(f"{bench}: missing from the new run")
+            continue
+        for key, base_value in sorted(base_metrics.items()):
+            if key not in got_metrics:
+                failures.append(f"{bench}.{key}: missing from the new run")
+                continue
+            got = float(got_metrics[key])
+            base = float(base_value)
+            if "speedup" in key:
+                # Machine-dependent ratio: gated by floors only, never by
+                # drift from the (possibly different-hardware) baseline.
+                continue
+            if _is_seconds_key(key):
+                limit = base * (1.0 + tolerance)
+                if got > limit:
+                    failures.append(
+                        f"{bench}.{key}: {got:.4f}s exceeds "
+                        f"{base:.4f}s * (1+{tolerance:.2f}) = {limit:.4f}s"
+                    )
+            else:
+                drift = abs(got - base) / max(abs(base), 1.0)
+                if drift > tolerance:
+                    failures.append(
+                        f"{bench}.{key}: {got:g} drifted {drift:.1%} from "
+                        f"baseline {base:g} (tolerance {tolerance:.0%})"
+                    )
+
+    for dotted, minimum in sorted(baseline.get("floors", {}).items()):
+        bench, _, key = dotted.partition(".")
+        if "speedup" in key and cpus < 4:
+            print(f"skipping floor {dotted} (only {cpus} CPU(s) available)")
+            continue
+        value = new_benches.get(bench, {}).get(key)
+        if value is None:
+            failures.append(f"floor {dotted}: key missing from the new run")
+        elif float(value) < float(minimum):
+            failures.append(
+                f"floor {dotted}: {float(value):.3f} is below the "
+                f"required minimum {float(minimum):.3f}"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--new", default="BENCH_CI.json")
+    parser.add_argument("--baseline", default="benchmarks/baseline.json")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args()
+
+    new = json.loads(Path(args.new).read_text(encoding="utf-8"))
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    failures = compare(new, baseline, args.tolerance)
+    if failures:
+        print(f"benchmark regression gate FAILED ({len(failures)} issue(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

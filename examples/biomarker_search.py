@@ -57,7 +57,9 @@ def make_source(
     else:
         block = rng.normal(0.0, 1.0, size=(samples, n_bio))
     values = np.hstack([block, background])
-    gene_ids = BIOMARKER_GENES + [1000 + source_id * 100 + g for g in range(background_genes)]
+    gene_ids = BIOMARKER_GENES + [
+        1000 + source_id * 100 + g for g in range(background_genes)
+    ]
     return GeneFeatureMatrix(values, gene_ids, source_id)
 
 

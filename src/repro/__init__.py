@@ -22,6 +22,7 @@ paper-vs-measured record of every figure.
 from .config import (
     DEFAULTS,
     PAPER_GRID,
+    BuildConfig,
     Defaults,
     EngineConfig,
     InferenceConfig,
@@ -40,7 +41,12 @@ from .core.measures import (
     randomized_measure_matrix,
     randomized_measure_probability,
 )
-from .core.persistence import load_engine, save_engine
+from .core.persistence import (
+    load_engine,
+    load_engine_sharded,
+    save_engine,
+    save_engine_sharded,
+)
 from .core.inference import (
     EdgeProbabilityEstimator,
     edge_probability,
@@ -87,6 +93,7 @@ __all__ = [
     # configuration
     "DEFAULTS",
     "PAPER_GRID",
+    "BuildConfig",
     "Defaults",
     "EngineConfig",
     "InferenceConfig",
@@ -122,6 +129,8 @@ __all__ = [
     "MeasureScanEngine",
     "save_engine",
     "load_engine",
+    "save_engine_sharded",
+    "load_engine_sharded",
     # generalizations (Appendix A / future work)
     "AdHocMatchEngine",
     "FeatureCollection",

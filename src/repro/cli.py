@@ -7,8 +7,9 @@ Runs any of the paper's experiments and prints its series, e.g.::
     imgrn vs-baseline --queries 3
     imgrn index-build
 
-plus two observability commands::
+plus the operational commands::
 
+    imgrn build --workers 4 --save index_dir   # parallel sharded build
     imgrn query --trace-out trace.json   # run queries, dump a Chrome trace
     imgrn stats metrics.json             # pretty-print a metrics snapshot
 
@@ -37,41 +38,64 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="experiment", required=True)
 
     roc = sub.add_parser("roc", help="Fig. 5(a)/14: ROC of IM-GRN vs Correlation")
-    roc.add_argument("--organism", default="ecoli",
-                     choices=["ecoli", "saureus", "scerevisiae"])
+    roc.add_argument(
+        "--organism",
+        default="ecoli",
+        choices=["ecoli", "saureus", "scerevisiae"],
+    )
     roc.add_argument("--genes", type=int, default=120)
     roc.add_argument("--mc-samples", type=int, default=300)
     roc.add_argument("--seed", type=int, default=7)
-    roc.add_argument("--plot", action="store_true",
-                     help="render an ASCII ROC plot")
+    roc.add_argument("--plot", action="store_true", help="render an ASCII ROC plot")
 
     pcorr = sub.add_parser("pcorr", help="Fig. 15: ROC of IM-GRN vs pCorr")
-    pcorr.add_argument("--organism", default="ecoli",
-                       choices=["ecoli", "saureus", "scerevisiae"])
+    pcorr.add_argument(
+        "--organism",
+        default="ecoli",
+        choices=["ecoli", "saureus", "scerevisiae"],
+    )
     pcorr.add_argument("--genes", type=int, default=120)
     pcorr.add_argument("--mc-samples", type=int, default=300)
     pcorr.add_argument("--seed", type=int, default=7)
-    pcorr.add_argument("--plot", action="store_true",
-                       help="render an ASCII ROC plot")
+    pcorr.add_argument(
+        "--plot", action="store_true", help="render an ASCII ROC plot"
+    )
 
     itime = sub.add_parser("inference-time", help="Fig. 5(b): inference wall-clock")
     itime.add_argument("--sizes", type=int, nargs="+", default=[50, 100, 150, 200])
     itime.add_argument("--seed", type=int, default=7)
     itime.add_argument("--mc-samples", type=int, default=200)
-    itime.add_argument("--workers", type=int, default=0,
-                       help="process-pool workers for batched inference")
-    itime.add_argument("--batch-size", type=int, default=32,
-                       help="columns per permutation-block GEMM")
-    itime.add_argument("--no-cache", action="store_true",
-                       help="disable the edge-probability cache")
-    itime.add_argument("--no-sequential", action="store_true",
-                       help="skip the per-pair sequential reference timing")
+    itime.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool workers for batched inference",
+    )
+    itime.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        help="columns per permutation-block GEMM",
+    )
+    itime.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the edge-probability cache",
+    )
+    itime.add_argument(
+        "--no-sequential",
+        action="store_true",
+        help="skip the per-pair sequential reference timing",
+    )
 
     vsb = sub.add_parser("vs-baseline", help="Fig. 6: IM-GRN vs Baseline")
     vsb.add_argument("--n-matrices", type=int, default=60)
     vsb.add_argument("--queries", type=int, default=5)
-    vsb.add_argument("--linear-scan", action="store_true",
-                     help="also run the pruning-only linear scan")
+    vsb.add_argument(
+        "--linear-scan",
+        action="store_true",
+        help="also run the pruning-only linear scan",
+    )
     vsb.add_argument("--seed", type=int, default=7)
 
     for name, help_text in (
@@ -99,6 +123,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding the bench outputs (default: benchmarks/out)",
     )
 
+    pbuild = sub.add_parser(
+        "build",
+        help="build an IM-GRN index over a synthetic DB "
+        "(parallel sharded build; optionally persist it)",
+    )
+    pbuild.add_argument("--n-matrices", type=int, default=60)
+    pbuild.add_argument(
+        "--genes-range",
+        type=int,
+        nargs=2,
+        default=[20, 40],
+        metavar=("LO", "HI"),
+    )
+    pbuild.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool workers for the per-matrix build work",
+    )
+    pbuild.add_argument(
+        "--shard-size",
+        type=int,
+        default=16,
+        help="matrices per build shard (dispatch + persistence unit)",
+    )
+    pbuild.add_argument(
+        "--backend",
+        default="process",
+        choices=["process", "serial"],
+        help="shard execution backend",
+    )
+    pbuild.add_argument(
+        "--bulk",
+        action="store_true",
+        help="bulk-load the R*-tree (STR) instead of R* insertion",
+    )
+    pbuild.add_argument(
+        "--compare-serial",
+        action="store_true",
+        help="also time a serial build and report the speedup",
+    )
+    pbuild.add_argument("--seed", type=int, default=7)
+    pbuild.add_argument(
+        "--save",
+        default=None,
+        metavar="PATH",
+        help="persist the engine: *.npz for one archive, anything else "
+        "for a per-shard directory",
+    )
+    pbuild.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the build spans",
+    )
+
     query = sub.add_parser(
         "query",
         help="build an engine over a synthetic DB, run queries, "
@@ -110,20 +190,42 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["imgrn", "linear-scan", "baseline", "measure-scan"],
     )
     query.add_argument("--n-matrices", type=int, default=40)
-    query.add_argument("--genes-range", type=int, nargs=2, default=[20, 40],
-                       metavar=("LO", "HI"))
-    query.add_argument("--n-q", type=int, default=4,
-                       help="genes per query graph")
+    query.add_argument(
+        "--genes-range",
+        type=int,
+        nargs=2,
+        default=[20, 40],
+        metavar=("LO", "HI"),
+    )
+    query.add_argument("--n-q", type=int, default=4, help="genes per query graph")
     query.add_argument("--queries", type=int, default=3)
     query.add_argument("--gamma", type=float, default=0.5)
     query.add_argument("--alpha", type=float, default=0.5)
     query.add_argument("--seed", type=int, default=7)
-    query.add_argument("--trace-out", default=None, metavar="PATH",
-                       help="write a Chrome trace_event JSON of all spans")
-    query.add_argument("--metrics-out", default=None, metavar="PATH",
-                       help="write the metrics registry as JSON")
-    query.add_argument("--prometheus-out", default=None, metavar="PATH",
-                       help="write the metrics in Prometheus text format")
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool workers for the index build",
+    )
+    query.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of all spans",
+    )
+    query.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry as JSON",
+    )
+    query.add_argument(
+        "--prometheus-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics in Prometheus text format",
+    )
 
     stats = sub.add_parser(
         "stats", help="render a metrics snapshot (JSON file or live registry)"
@@ -164,9 +266,78 @@ def _run_report(out_dir: str | None) -> int:
     return 0
 
 
+def _run_build(args: argparse.Namespace) -> int:
+    """Build (and optionally persist) an index over a synthetic database."""
+    from pathlib import Path
+
+    from .config import (
+        BuildConfig,
+        EngineConfig,
+        ObservabilityConfig,
+        SyntheticConfig,
+    )
+    from .core.persistence import save_engine, save_engine_sharded
+    from .core.query import IMGRNEngine
+    from .data.synthetic import generate_database
+    from .obs.exporters import write_chrome_trace
+
+    config = EngineConfig(
+        seed=args.seed,
+        build=BuildConfig(
+            workers=args.workers,
+            shard_size=args.shard_size,
+            backend=args.backend,
+        ),
+        observability=ObservabilityConfig(
+            tracing=args.trace_out is not None,
+            shared_registry=False,
+        ),
+    )
+    database = generate_database(
+        SyntheticConfig(genes_range=tuple(args.genes_range), seed=args.seed),
+        args.n_matrices,
+    )
+    engine = IMGRNEngine(database, config)
+    seconds = engine.build(bulk=args.bulk)
+    shards = -(-len(database) // args.shard_size)
+    print(
+        f"built {len(database)} matrices ({database.total_genes()} points) "
+        f"in {seconds:.3f}s -- {shards} shard(s), "
+        f"workers={args.workers}, backend={args.backend}"
+    )
+    if args.compare_serial:
+        serial = IMGRNEngine(
+            database, config.with_(build=config.build.with_(workers=0))
+        )
+        serial_seconds = serial.build(bulk=args.bulk)
+        speedup = serial_seconds / seconds if seconds > 0 else float("inf")
+        print(f"serial build: {serial_seconds:.3f}s (speedup {speedup:.2f}x)")
+    if args.save:
+        target = Path(args.save)
+        if target.suffix == ".npz":
+            save_engine(engine, target)
+            print(f"engine saved to {target}")
+        else:
+            report = save_engine_sharded(engine, target)
+            print(
+                f"engine saved to {target}/ "
+                f"({len(report['written'])} shard(s) written, "
+                f"{len(report['skipped'])} unchanged)"
+            )
+    if args.trace_out:
+        path = write_chrome_trace(engine.obs.tracer, args.trace_out)
+        print(f"trace written to {path}")
+    return 0
+
+
 def _run_query(args: argparse.Namespace) -> int:
     """Build + query an engine over a synthetic database, export telemetry."""
-    from .config import EngineConfig, ObservabilityConfig, SyntheticConfig
+    from .config import (
+        BuildConfig,
+        EngineConfig,
+        ObservabilityConfig,
+        SyntheticConfig,
+    )
     from .core.baseline import BaselineEngine, LinearScanEngine
     from .core.measure_engine import MeasureScanEngine
     from .core.query import IMGRNEngine
@@ -180,6 +351,7 @@ def _run_query(args: argparse.Namespace) -> int:
 
     config = EngineConfig(
         seed=args.seed,
+        build=BuildConfig(workers=args.workers),
         observability=ObservabilityConfig(
             tracing=args.trace_out is not None,
             shared_registry=False,
@@ -277,6 +449,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if name == "report":
         return _run_report(args.out_dir)
+
+    if name == "build":
+        return _run_build(args)
 
     if name == "query":
         return _run_query(args)

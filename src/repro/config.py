@@ -25,6 +25,7 @@ from .errors import ValidationError
 __all__ = [
     "ParameterGrid",
     "Defaults",
+    "BuildConfig",
     "EngineConfig",
     "InferenceConfig",
     "ObservabilityConfig",
@@ -137,6 +138,56 @@ class InferenceConfig:
 
 
 @dataclass(frozen=True)
+class BuildConfig:
+    """Knobs of the sharded, optionally parallel index build.
+
+    Controls *how* :meth:`repro.core.query.IMGRNEngine.build` executes --
+    never *what* it builds: every setting yields a bit-identical tree,
+    inverted file and embedding set for the same database and engine seed,
+    because each matrix is embedded under its own
+    ``(seed, source_id)``-keyed random stream and shard outputs are merged
+    in database order (asserted in ``tests/test_parallel_build.py``).
+
+    Attributes
+    ----------
+    workers:
+        ``ProcessPoolExecutor`` worker count for the per-matrix build work
+        (pivot selection, embedding, expectation computation). ``0`` or
+        ``1`` keeps the build in-process.
+    shard_size:
+        Matrices per build shard. A shard is the unit of progress
+        accounting (one ``build.shard`` span each), of worker dispatch
+        (shards are striped round-robin over workers) and of persistence
+        (:func:`repro.core.persistence.save_engine_sharded` writes one
+        archive per shard).
+    backend:
+        ``"process"`` (default) fans shards across a process pool when
+        ``workers > 1``; ``"serial"`` forces the in-process path
+        regardless of ``workers`` (debugging / platforms without fork).
+    """
+
+    workers: int = 0
+    shard_size: int = 16
+    backend: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValidationError(f"workers must be >= 0, got {self.workers}")
+        if self.shard_size < 1:
+            raise ValidationError(
+                f"shard_size must be >= 1, got {self.shard_size}"
+            )
+        if self.backend not in ("process", "serial"):
+            raise ValidationError(
+                f"backend must be 'process' or 'serial', got {self.backend!r}"
+            )
+
+    def with_(self, **changes: object) -> "BuildConfig":
+        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
 class ObservabilityConfig:
     """Knobs of the tracing/metrics layer (:mod:`repro.obs`).
 
@@ -204,6 +255,9 @@ class EngineConfig:
     inference:
         Batching/caching/parallelism knobs of the edge-probability engine
         (:class:`InferenceConfig`); never changes the computed values.
+    build:
+        Sharding/parallelism knobs of the index build
+        (:class:`BuildConfig`); never changes the built index.
     observability:
         Tracing/metrics knobs (:class:`ObservabilityConfig`); never
         changes query answers, only what gets recorded about them.
@@ -222,6 +276,7 @@ class EngineConfig:
     rstar_max_entries: int = 16
     seed: int = 7
     inference: InferenceConfig = InferenceConfig()
+    build: BuildConfig = BuildConfig()
     observability: ObservabilityConfig = ObservabilityConfig()
 
     def __post_init__(self) -> None:

@@ -101,7 +101,9 @@ def absolute_correlation_matrix(matrix: np.ndarray) -> np.ndarray:
     return np.abs(correlation_matrix(matrix))
 
 
-def partial_correlation_matrix(matrix: np.ndarray, shrinkage: float = 1e-3) -> np.ndarray:
+def partial_correlation_matrix(
+    matrix: np.ndarray, shrinkage: float = 1e-3
+) -> np.ndarray:
     """Pairwise partial correlations of the columns (the ``pCorr`` competitor).
 
     The partial correlation between genes *s* and *t* conditions on all the

@@ -19,6 +19,7 @@ queries identically to the one that was saved (asserted in tests).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import io as _io
 import json
 import time
@@ -26,7 +27,12 @@ from pathlib import Path
 
 import numpy as np
 
-from ..config import EngineConfig, InferenceConfig, ObservabilityConfig
+from ..config import (
+    BuildConfig,
+    EngineConfig,
+    InferenceConfig,
+    ObservabilityConfig,
+)
 from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import IndexNotBuiltError, ValidationError
@@ -34,14 +40,23 @@ from .embedding import EmbeddedMatrix
 from .query import IMGRNEngine, _MatrixEntry
 from .standardize import standardize_matrix
 
-__all__ = ["save_engine", "load_engine"]
+__all__ = [
+    "save_engine",
+    "load_engine",
+    "save_engine_sharded",
+    "load_engine_sharded",
+]
 
 #: Archive format version (bump on layout changes).
 _FORMAT_VERSION = 1
 
+#: Sharded-directory format version (bump on layout changes).
+_SHARDED_FORMAT_VERSION = 1
+
 #: Nested config dataclasses reconstructed by name from archive dicts.
 _NESTED_CONFIG_FIELDS = {
     "inference": InferenceConfig,
+    "build": BuildConfig,
     "observability": ObservabilityConfig,
 }
 
@@ -72,6 +87,47 @@ def _config_from_dict(raw: dict) -> EngineConfig:
     return EngineConfig(**kwargs)
 
 
+def _matrix_payload(engine: IMGRNEngine, matrix: GeneFeatureMatrix) -> dict:
+    """The per-matrix archive arrays (raw data + embedding)."""
+    sid = matrix.source_id
+    entry = engine._entries[sid]
+    truth = sorted(matrix.truth_edges)
+    return {
+        f"values_{sid}": matrix.values,
+        f"genes_{sid}": np.asarray(matrix.gene_ids, dtype=np.int64),
+        f"truth_{sid}": (
+            np.asarray(truth, dtype=np.int64).reshape(-1, 2)
+            if truth
+            else np.empty((0, 2), dtype=np.int64)
+        ),
+        f"pivots_{sid}": np.asarray(
+            entry.embedded.pivot_indices, dtype=np.int64
+        ),
+        f"embx_{sid}": np.asarray(entry.embedded.x),
+        f"emby_{sid}": np.asarray(entry.embedded.y),
+    }
+
+
+def _restore_matrix(archive, sid: int) -> tuple[GeneFeatureMatrix, EmbeddedMatrix]:
+    """Rebuild one matrix and its embedding from archive arrays."""
+    values = archive[f"values_{sid}"]
+    genes = [int(g) for g in archive[f"genes_{sid}"]]
+    truth = [(int(u), int(v)) for u, v in archive[f"truth_{sid}"]]
+    matrix = GeneFeatureMatrix(values, genes, int(sid), truth)
+    x = archive[f"embx_{sid}"].copy()
+    y = archive[f"emby_{sid}"].copy()
+    x.setflags(write=False)
+    y.setflags(write=False)
+    embedded = EmbeddedMatrix(
+        source_id=int(sid),
+        gene_ids=tuple(genes),
+        pivot_indices=tuple(int(p) for p in archive[f"pivots_{sid}"]),
+        x=x,
+        y=y,
+    )
+    return matrix, embedded
+
+
 def save_engine(engine: IMGRNEngine, path: str | Path) -> None:
     """Serialize a built engine to ``path`` (compressed ``.npz``).
 
@@ -91,21 +147,7 @@ def save_engine(engine: IMGRNEngine, path: str | Path) -> None:
         "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
     }
     for matrix in engine.database:
-        sid = matrix.source_id
-        entry = engine._entries[sid]
-        payload[f"values_{sid}"] = matrix.values
-        payload[f"genes_{sid}"] = np.asarray(matrix.gene_ids, dtype=np.int64)
-        truth = sorted(matrix.truth_edges)
-        payload[f"truth_{sid}"] = (
-            np.asarray(truth, dtype=np.int64).reshape(-1, 2)
-            if truth
-            else np.empty((0, 2), dtype=np.int64)
-        )
-        payload[f"pivots_{sid}"] = np.asarray(
-            entry.embedded.pivot_indices, dtype=np.int64
-        )
-        payload[f"embx_{sid}"] = np.asarray(entry.embedded.x)
-        payload[f"emby_{sid}"] = np.asarray(entry.embedded.y)
+        payload.update(_matrix_payload(engine, matrix))
     with _io.BytesIO() as buffer:
         np.savez_compressed(buffer, **payload)
         Path(path).write_bytes(buffer.getvalue())
@@ -114,10 +156,6 @@ def save_engine(engine: IMGRNEngine, path: str | Path) -> None:
 def load_engine(path: str | Path) -> IMGRNEngine:
     """Restore an engine saved by :func:`save_engine` (index rebuilt from
     the stored embeddings; no pivot selection or sampling re-runs)."""
-    from ..index.invertedfile import InvertedBitVectorFile
-    from ..index.pagemanager import PageManager
-    from ..index.rstartree import RStarTree
-
     with np.load(Path(path)) as archive:
         try:
             meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
@@ -132,25 +170,29 @@ def load_engine(path: str | Path) -> IMGRNEngine:
         database = GeneFeatureDatabase()
         embeddings: dict[int, EmbeddedMatrix] = {}
         for sid in meta["source_ids"]:
-            values = archive[f"values_{sid}"]
-            genes = [int(g) for g in archive[f"genes_{sid}"]]
-            truth = [(int(u), int(v)) for u, v in archive[f"truth_{sid}"]]
-            database.add(GeneFeatureMatrix(values, genes, int(sid), truth))
-            x = archive[f"embx_{sid}"].copy()
-            y = archive[f"emby_{sid}"].copy()
-            x.setflags(write=False)
-            y.setflags(write=False)
-            embeddings[int(sid)] = EmbeddedMatrix(
-                source_id=int(sid),
-                gene_ids=tuple(genes),
-                pivot_indices=tuple(
-                    int(p) for p in archive[f"pivots_{sid}"]
-                ),
-                x=x,
-                y=y,
-            )
+            matrix, embedded = _restore_matrix(archive, sid)
+            database.add(matrix)
+            embeddings[int(sid)] = embedded
 
     engine = IMGRNEngine(database, config)
+    _install_index(engine, embeddings)
+    return engine
+
+
+def _install_index(
+    engine: IMGRNEngine, embeddings: dict[int, EmbeddedMatrix]
+) -> None:
+    """Insert stored embeddings into a fresh tree + inverted file.
+
+    Insertion follows database order -- the same order :meth:`build` merges
+    shard outputs -- so a restored engine's index is bit-identical to a
+    freshly built one.
+    """
+    from ..index.invertedfile import InvertedBitVectorFile
+    from ..index.pagemanager import PageManager
+    from ..index.rstartree import RStarTree
+
+    config = engine.config
     started = time.perf_counter()
     engine.pages = PageManager()
     engine.pages.pause()
@@ -161,7 +203,7 @@ def load_engine(path: str | Path) -> IMGRNEngine:
         bitvector_bits=config.bitvector_bits,
     )
     inverted = InvertedBitVectorFile(config.bitvector_bits)
-    for matrix in database:
+    for matrix in engine.database:
         embedded = embeddings[matrix.source_id]
         engine._entries[matrix.source_id] = _MatrixEntry(
             matrix=matrix,
@@ -178,4 +220,211 @@ def load_engine(path: str | Path) -> IMGRNEngine:
     engine.tree = tree
     engine.inverted_file = inverted
     engine.build_seconds = time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Per-shard persistence
+# ----------------------------------------------------------------------
+def _matrix_fingerprint(matrix: GeneFeatureMatrix) -> str:
+    """Content hash of one matrix (values + gene IDs + truth edges).
+
+    Two matrices with equal fingerprints embed identically under the same
+    engine config and seed, so a stored embedding whose fingerprint still
+    matches can be reused without re-running pivot selection.
+    """
+    digest = hashlib.sha256()
+    values = np.ascontiguousarray(matrix.values, dtype=np.float64)
+    digest.update(str(values.shape).encode("utf-8"))
+    digest.update(values.tobytes())
+    digest.update(np.asarray(matrix.gene_ids, dtype=np.int64).tobytes())
+    for u, v in sorted(matrix.truth_edges):
+        digest.update(f"{u},{v};".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _embedding_config_key(config: EngineConfig) -> dict:
+    """The config fields the embedding depends on.
+
+    Execution-only knobs (``inference``, ``build``, ``observability``,
+    node fan-out, bit widths, MC refinement accuracy) never change the
+    embedding, so changing them must not invalidate stored shards.
+    """
+    return {
+        "num_pivots": config.num_pivots,
+        "expectation_mode": config.expectation_mode,
+        "expectation_samples": config.expectation_samples,
+        "pivot_global_iter": config.pivot_global_iter,
+        "pivot_swap_iter": config.pivot_swap_iter,
+        "seed": config.seed,
+    }
+
+
+def _shard_file_name(index: int) -> str:
+    return f"shard_{index:04d}.npz"
+
+
+def save_engine_sharded(
+    engine: IMGRNEngine, directory: str | Path
+) -> dict[str, list[str]]:
+    """Serialize a built engine as one archive per build shard.
+
+    The database is cut into shards of ``engine.config.build.shard_size``
+    matrices (the same shard boundary the parallel build uses); each shard
+    becomes one ``shard_NNNN.npz`` next to a ``meta.json`` that records the
+    config plus per-matrix content fingerprints. Saving over an existing
+    directory skips shards whose sources, fingerprints and
+    embedding-relevant config are unchanged -- so after
+    :func:`load_engine_sharded` refreshed one changed matrix, only that
+    matrix's shard is rewritten.
+
+    Returns ``{"written": [...], "skipped": [...]}`` (shard file names).
+
+    Raises
+    ------
+    IndexNotBuiltError
+        If the engine has not been built.
+    """
+    if not engine.is_built:
+        raise IndexNotBuiltError("build() the engine before saving it")
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    meta_path = target / "meta.json"
+    previous_shards: dict[int, dict] = {}
+    previous_config_key: dict | None = None
+    if meta_path.is_file():
+        try:
+            previous = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            previous = {}
+        if previous.get("format_version") == _SHARDED_FORMAT_VERSION:
+            previous_config_key = previous.get("embedding_config")
+            for entry in previous.get("shards", ()):
+                previous_shards[int(entry["index"])] = entry
+
+    config_key = _embedding_config_key(engine.config)
+    shard_size = engine.config.build.shard_size
+    matrices = list(engine.database)
+    written: list[str] = []
+    skipped: list[str] = []
+    shard_entries: list[dict] = []
+    for index, start in enumerate(range(0, len(matrices), shard_size)):
+        chunk = matrices[start : start + shard_size]
+        entry = {
+            "index": index,
+            "file": _shard_file_name(index),
+            "sources": [int(m.source_id) for m in chunk],
+            "fingerprints": {
+                str(m.source_id): _matrix_fingerprint(m) for m in chunk
+            },
+        }
+        shard_entries.append(entry)
+        shard_path = target / entry["file"]
+        old = previous_shards.get(index)
+        unchanged = (
+            old is not None
+            and previous_config_key == config_key
+            and old.get("sources") == entry["sources"]
+            and old.get("fingerprints") == entry["fingerprints"]
+            and shard_path.is_file()
+        )
+        if unchanged:
+            skipped.append(entry["file"])
+            continue
+        payload: dict[str, np.ndarray] = {}
+        for matrix in chunk:
+            payload.update(_matrix_payload(engine, matrix))
+        with _io.BytesIO() as buffer:
+            np.savez_compressed(buffer, **payload)
+            shard_path.write_bytes(buffer.getvalue())
+        written.append(entry["file"])
+
+    # Drop stale shard files from a previous, larger save.
+    for index in sorted(previous_shards):
+        if index >= len(shard_entries):
+            stale = target / _shard_file_name(index)
+            if stale.is_file():
+                stale.unlink()
+    meta = {
+        "format_version": _SHARDED_FORMAT_VERSION,
+        "config": dataclasses.asdict(engine.config),
+        "embedding_config": config_key,
+        "shards": shard_entries,
+    }
+    meta_path.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    return {"written": written, "skipped": skipped}
+
+
+def load_engine_sharded(
+    directory: str | Path,
+    database: GeneFeatureDatabase | None = None,
+) -> IMGRNEngine:
+    """Restore an engine from a sharded save.
+
+    Without ``database``, the matrices stored in the shards are restored
+    verbatim (the sharded twin of :func:`load_engine`). With ``database``,
+    the given matrices become the engine's database and each one reuses
+    its stored embedding when its content fingerprint still matches --
+    only changed or new matrices re-run pivot selection and embedding.
+    The resulting engine is bit-identical to a fresh serial build over the
+    same database (insertion order is database order either way).
+
+    The reuse/re-embed split is reported on the returned engine as
+    ``engine.shard_load_report = {"reused": [...], "reembedded": [...]}``.
+
+    Raises
+    ------
+    ValidationError
+        If the directory is not a sharded engine save.
+    """
+    target = Path(directory)
+    meta_path = target / "meta.json"
+    if not meta_path.is_file():
+        raise ValidationError(f"{target}: not a sharded engine save")
+    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    if meta.get("format_version") != _SHARDED_FORMAT_VERSION:
+        raise ValidationError(
+            f"{target}: unsupported sharded format "
+            f"{meta.get('format_version')!r}"
+        )
+    config = _config_from_dict(meta["config"])
+
+    stored_embeddings: dict[int, EmbeddedMatrix] = {}
+    stored_fingerprints: dict[int, str] = {}
+    restored = GeneFeatureDatabase()
+    for entry in meta["shards"]:
+        shard_path = target / entry["file"]
+        if not shard_path.is_file():
+            raise ValidationError(f"{target}: missing shard {entry['file']}")
+        with np.load(shard_path) as archive:
+            for sid in entry["sources"]:
+                matrix, embedded = _restore_matrix(archive, sid)
+                restored.add(matrix)
+                stored_embeddings[int(sid)] = embedded
+                stored_fingerprints[int(sid)] = entry["fingerprints"][str(sid)]
+
+    if database is None:
+        engine = IMGRNEngine(restored, config)
+        _install_index(engine, stored_embeddings)
+        engine.shard_load_report = {
+            "reused": sorted(stored_embeddings),
+            "reembedded": [],
+        }
+        return engine
+
+    engine = IMGRNEngine(database, config)
+    embeddings: dict[int, EmbeddedMatrix] = {}
+    reused: list[int] = []
+    reembedded: list[int] = []
+    for matrix in database:
+        sid = matrix.source_id
+        stored = stored_fingerprints.get(sid)
+        if stored is not None and stored == _matrix_fingerprint(matrix):
+            embeddings[sid] = stored_embeddings[sid]
+            reused.append(sid)
+            continue
+        rng = np.random.default_rng((config.seed, sid))
+        embeddings[sid] = engine._embed_with_padding(matrix, "cost_model", rng)
+        reembedded.append(sid)
+    _install_index(engine, embeddings)
+    engine.shard_load_report = {"reused": reused, "reembedded": reembedded}
     return engine

@@ -266,7 +266,9 @@ class ProbabilisticGraph:
         return graph
 
     @classmethod
-    def from_networkx(cls, graph: nx.Graph, default_p: float = 1.0) -> "ProbabilisticGraph":
+    def from_networkx(
+        cls, graph: nx.Graph, default_p: float = 1.0
+    ) -> "ProbabilisticGraph":
         """Build from a networkx graph; missing ``p`` attributes get ``default_p``."""
         probs = {
             (int(u), int(v)): float(data.get("p", default_p))

@@ -47,7 +47,7 @@ from ..index.rstartree import RStarTree
 from ..obs import Observability
 from ..obs import names as _names
 from .batch_inference import BatchInferenceEngine, standardize_columns
-from .embedding import EmbeddedMatrix, embed_matrix
+from .embedding import EmbeddedMatrix
 from .inference import EdgeProbabilityEstimator
 from .matching import Embedding
 from .probgraph import ProbabilisticGraph, edge_key
@@ -165,6 +165,9 @@ class IMGRNEngine:
         self.tree: RStarTree | None = None
         self.inverted_file: InvertedBitVectorFile | None = None
         self.build_seconds: float = 0.0
+        #: Set by :func:`repro.core.persistence.load_engine_sharded`:
+        #: which sources reused stored embeddings vs. re-embedded.
+        self.shard_load_report: dict[str, list[int]] | None = None
         self._entries: dict[int, _MatrixEntry] = {}
         self._estimator = EdgeProbabilityEstimator(
             n_samples=self.config.mc_samples,
@@ -190,6 +193,14 @@ class IMGRNEngine:
     def build(self, pivot_strategy: str = "cost_model", bulk: bool = False) -> float:
         """Embed every matrix, build the R*-tree and inverted file.
 
+        The numerically heavy per-matrix work (pivot selection, embedding,
+        expected-distance computation) runs in shards of
+        ``config.build.shard_size`` matrices; with ``config.build.workers
+        > 1`` the shards are striped round-robin across a
+        ``ProcessPoolExecutor``. Shard outputs are merged into the tree in
+        database order, so every ``BuildConfig`` setting produces a
+        bit-identical index (see :mod:`repro.core.parallel_build`).
+
         ``bulk=True`` packs the tree with Sort-Tile-Recursive loading
         instead of one-at-a-time R* insertion -- much faster to build,
         slightly worse node quality at query time (see
@@ -198,6 +209,7 @@ class IMGRNEngine:
         Returns the wall-clock build time in seconds (what Fig. 13 plots).
         """
         from ..index.node import LeafEntry
+        from .parallel_build import partition_shards
 
         config = self.config
         tracer = self.obs.tracer
@@ -221,54 +233,64 @@ class IMGRNEngine:
         inverted = InvertedBitVectorFile(config.bitvector_bits)
         self._entries = {}
         pending: list[LeafEntry] = []
-        with tracer.span("build", engine=_ENGINE, bulk=bulk):
-            for matrix in self.database:
-                rng = np.random.default_rng((config.seed, matrix.source_id))
-                with tracer.span(
-                    "build.embed",
-                    source=matrix.source_id,
-                    genes=matrix.num_genes,
-                ):
-                    embedded = self._embed_with_padding(
-                        matrix, pivot_strategy, rng
+        matrices = list(self.database)
+        shards = partition_shards(matrices, config.build.shard_size)
+        with tracer.span(
+            "build",
+            engine=_ENGINE,
+            bulk=bulk,
+            workers=config.build.workers,
+            shards=len(shards),
+        ):
+            embedded_by_source = self._embed_shards(shards, pivot_strategy)
+            with tracer.span("build.merge", engine=_ENGINE, matrices=len(matrices)):
+                for matrix in matrices:
+                    embedded = embedded_by_source[matrix.source_id]
+                    standardized = standardize_matrix(matrix.values)
+                    self._entries[matrix.source_id] = _MatrixEntry(
+                        matrix=matrix,
+                        embedded=embedded,
+                        standardized=standardized,
                     )
-                standardized = standardize_matrix(matrix.values)
-                self._entries[matrix.source_id] = _MatrixEntry(
-                    matrix=matrix, embedded=embedded, standardized=standardized
-                )
-                points = embedded.points()
-                with tracer.span("build.index_insert", source=matrix.source_id):
-                    for gene_index, gene_id in enumerate(embedded.gene_ids):
-                        payload = self._payload_key(matrix.source_id, gene_index)
-                        if bulk:
-                            pending.append(
-                                LeafEntry(
+                    points = embedded.points()
+                    with tracer.span(
+                        "build.index_insert", source=matrix.source_id
+                    ):
+                        for gene_index, gene_id in enumerate(embedded.gene_ids):
+                            payload = self._payload_key(
+                                matrix.source_id, gene_index
+                            )
+                            if bulk:
+                                pending.append(
+                                    LeafEntry(
+                                        points[gene_index],
+                                        gene_id,
+                                        matrix.source_id,
+                                        payload,
+                                    )
+                                )
+                            else:
+                                tree.insert(
                                     points[gene_index],
                                     gene_id,
                                     matrix.source_id,
                                     payload,
                                 )
-                            )
-                        else:
-                            tree.insert(
-                                points[gene_index],
-                                gene_id,
-                                matrix.source_id,
-                                payload,
-                            )
-                with tracer.span("build.inverted_file", source=matrix.source_id):
-                    for gene_id in embedded.gene_ids:
-                        inverted.add(gene_id, matrix.source_id)
-                built_matrices.inc()
-                built_points.inc(matrix.num_genes)
-            if bulk:
-                # Tile the gene-ID dimension first: it is the traversal's
-                # most discriminative axis (exact anchor/neighbor range
-                # checks).
-                with tracer.span("build.bulk_load", points=len(pending)):
-                    gene_first = [dim - 1] + list(range(dim - 1))
-                    tree.bulk_load(pending, axis_order=gene_first)
-            tree.finalize()
+                    with tracer.span(
+                        "build.inverted_file", source=matrix.source_id
+                    ):
+                        for gene_id in embedded.gene_ids:
+                            inverted.add(gene_id, matrix.source_id)
+                    built_matrices.inc()
+                    built_points.inc(matrix.num_genes)
+                if bulk:
+                    # Tile the gene-ID dimension first: it is the
+                    # traversal's most discriminative axis (exact
+                    # anchor/neighbor range checks).
+                    with tracer.span("build.bulk_load", points=len(pending)):
+                        gene_first = [dim - 1] + list(range(dim - 1))
+                        tree.bulk_load(pending, axis_order=gene_first)
+                tree.finalize()
         self.pages.resume()
         self.tree = tree
         self.inverted_file = inverted
@@ -278,46 +300,97 @@ class IMGRNEngine:
         ).observe(self.build_seconds)
         return self.build_seconds
 
+    def _embed_shards(self, shards, pivot_strategy: str) -> dict:
+        """Embed every shard, in-process or across a process pool.
+
+        Returns ``{source_id: EmbeddedMatrix}``. The parallel path stripes
+        shards round-robin over the workers (shard cost is roughly uniform,
+        so stripes balance) and records one ``build.shard`` span per shard
+        in the parent; the worker-measured embed seconds travel back as the
+        span's ``seconds`` attribute and the ``build.shard_seconds``
+        histogram.
+        """
+        from .parallel_build import embed_shard, stripe_worker
+
+        config = self.config
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+
+        def record(seconds: float, worker: int) -> None:
+            metrics.counter(
+                _names.BUILD_SHARDS,
+                help="build shards embedded",
+                engine=_ENGINE,
+                worker=str(worker),
+            ).inc()
+            metrics.histogram(
+                _names.BUILD_SHARD_SECONDS,
+                help="per-shard embed seconds",
+                engine=_ENGINE,
+                worker=str(worker),
+            ).observe(seconds)
+
+        out: dict[int, EmbeddedMatrix] = {}
+        workers = config.build.workers
+        parallel = (
+            config.build.backend == "process" and workers > 1 and len(shards) > 1
+        )
+        if not parallel:
+            for shard in shards:
+                with tracer.span(
+                    "build.shard",
+                    shard=shard.index,
+                    sources=len(shard.matrices),
+                    worker=0,
+                ) as span:
+                    result = embed_shard(
+                        shard, config, pivot_strategy, tracer=tracer
+                    )
+                    span.set(seconds=result.seconds)
+                for embedded in result.embedded:
+                    out[embedded.source_id] = embedded
+                record(result.seconds, worker=0)
+            return out
+        from concurrent.futures import ProcessPoolExecutor
+
+        stripes = [shards[w::workers] for w in range(workers)]
+        payloads = [
+            (stripe, config, pivot_strategy) for stripe in stripes if stripe
+        ]
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            for worker, results in enumerate(pool.map(stripe_worker, payloads)):
+                for result in results:
+                    # The embed ran in the worker process; the span records
+                    # its identity and worker-measured seconds post-hoc.
+                    with tracer.span(
+                        "build.shard",
+                        shard=result.index,
+                        sources=len(result.embedded),
+                        worker=worker,
+                    ) as span:
+                        span.set(seconds=result.seconds)
+                    for embedded in result.embedded:
+                        out[embedded.source_id] = embedded
+                    record(result.seconds, worker=worker)
+        return out
+
     def _embed_with_padding(
         self,
         matrix: GeneFeatureMatrix,
         pivot_strategy: str,
         rng: np.random.Generator,
     ) -> EmbeddedMatrix:
-        """Embed one matrix, padding pivots when ``n_i < d``.
+        """Embed one matrix under this engine's config (pivots padded)."""
+        from .parallel_build import embed_with_padding
 
-        All index points must share one dimensionality; a matrix with fewer
-        genes than ``d`` repeats its last pivot, which is sound (a repeated
-        pivot adds a duplicate coordinate and never tightens a bound
-        incorrectly).
-        """
-        config = self.config
-        effective = min(config.num_pivots, matrix.num_genes)
-        embedded = embed_matrix(
+        return embed_with_padding(
             matrix.values,
             matrix.gene_ids,
             matrix.source_id,
-            num_pivots=effective,
-            expectation_mode=config.expectation_mode,
-            expectation_samples=config.expectation_samples,
-            pivot_strategy=pivot_strategy,
-            pivot_global_iter=config.pivot_global_iter,
-            pivot_swap_iter=config.pivot_swap_iter,
-            rng=rng,
+            self.config,
+            pivot_strategy,
+            rng,
             tracer=self.obs.tracer,
-        )
-        if effective == config.num_pivots:
-            return embedded
-        pad = config.num_pivots - effective
-        x = np.hstack([embedded.x, np.repeat(embedded.x[:, -1:], pad, axis=1)])
-        y = np.hstack([embedded.y, np.repeat(embedded.y[:, -1:], pad, axis=1)])
-        pivots = embedded.pivot_indices + (embedded.pivot_indices[-1],) * pad
-        return EmbeddedMatrix(
-            source_id=embedded.source_id,
-            gene_ids=embedded.gene_ids,
-            pivot_indices=pivots,
-            x=x,
-            y=y,
         )
 
     @staticmethod
@@ -517,23 +590,38 @@ class IMGRNEngine:
         """
         if self.tree is None or self.inverted_file is None:
             raise IndexNotBuiltError("call build() before add_matrix()")
-        self.database.add(matrix)
-        rng = np.random.default_rng((self.config.seed, matrix.source_id))
-        embedded = self._embed_with_padding(matrix, "cost_model", rng)
-        self._entries[matrix.source_id] = _MatrixEntry(
-            matrix=matrix,
-            embedded=embedded,
-            standardized=standardize_matrix(matrix.values),
-        )
-        self.pages.pause()
-        self.tree.reopen()
-        points = embedded.points()
-        for gene_index, gene_id in enumerate(embedded.gene_ids):
-            payload = self._payload_key(matrix.source_id, gene_index)
-            self.tree.insert(points[gene_index], gene_id, matrix.source_id, payload)
-            self.inverted_file.add(gene_id, matrix.source_id)
-        self.tree.finalize()
-        self.pages.resume()
+        tracer = self.obs.tracer
+        with tracer.span(
+            "build.add_matrix",
+            engine=_ENGINE,
+            source=matrix.source_id,
+            genes=matrix.num_genes,
+        ):
+            self.database.add(matrix)
+            rng = np.random.default_rng((self.config.seed, matrix.source_id))
+            embedded = self._embed_with_padding(matrix, "cost_model", rng)
+            self._entries[matrix.source_id] = _MatrixEntry(
+                matrix=matrix,
+                embedded=embedded,
+                standardized=standardize_matrix(matrix.values),
+            )
+            self.pages.pause()
+            self.tree.reopen()
+            points = embedded.points()
+            for gene_index, gene_id in enumerate(embedded.gene_ids):
+                payload = self._payload_key(matrix.source_id, gene_index)
+                self.tree.insert(
+                    points[gene_index], gene_id, matrix.source_id, payload
+                )
+                self.inverted_file.add(gene_id, matrix.source_id)
+            self.tree.finalize()
+            self.pages.resume()
+        self.obs.metrics.counter(
+            _names.BUILD_MATRICES, help="matrices indexed", engine=_ENGINE
+        ).inc()
+        self.obs.metrics.counter(
+            _names.BUILD_POINTS, help="index points inserted", engine=_ENGINE
+        ).inc(matrix.num_genes)
 
     def remove_matrix(self, source_id: int) -> None:
         """Remove one data source from the index (tree + inverted file).
@@ -557,17 +645,23 @@ class IMGRNEngine:
             entry = self._entries.pop(source_id)
         except KeyError:
             raise UnknownGeneError(f"source {source_id} is not indexed") from None
-        self.pages.pause()
-        for gene_index in range(entry.matrix.num_genes):
-            payload = self._payload_key(source_id, gene_index)
-            removed = self.tree.delete(payload)
-            if not removed:
-                raise InternalError(
-                    f"index entry for source {source_id} gene {gene_index} "
-                    "was missing during removal"
-                )
-        self.inverted_file.remove_source(source_id, entry.matrix.gene_ids)
-        self.pages.resume()
+        with self.obs.tracer.span(
+            "build.remove_matrix",
+            engine=_ENGINE,
+            source=source_id,
+            genes=entry.matrix.num_genes,
+        ):
+            self.pages.pause()
+            for gene_index in range(entry.matrix.num_genes):
+                payload = self._payload_key(source_id, gene_index)
+                removed = self.tree.delete(payload)
+                if not removed:
+                    raise InternalError(
+                        f"index entry for source {source_id} gene {gene_index} "
+                        "was missing during removal"
+                    )
+            self.inverted_file.remove_source(source_id, entry.matrix.gene_ids)
+            self.pages.resume()
 
     def _pick_anchor(self, query_graph: ProbabilisticGraph) -> int:
         """Anchor gene for the traversal (Fig. 4 line 2, or an ablation).

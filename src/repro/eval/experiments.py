@@ -328,10 +328,14 @@ def vs_baseline(
         )
         engine = IMGRNEngine(database, config)
         engine.build()
-        engine_stats = [engine.query(q, gamma=gamma, alpha=alpha).stats for q in queries]
+        engine_stats = [
+            engine.query(q, gamma=gamma, alpha=alpha).stats for q in queries
+        ]
         baseline = BaselineEngine(database, config)
         baseline.build()
-        baseline_stats = [baseline.query(q, gamma=gamma, alpha=alpha).stats for q in queries]
+        baseline_stats = [
+            baseline.query(q, gamma=gamma, alpha=alpha).stats for q in queries
+        ]
         row: dict[str, float | str] = {"dataset": dataset}
         for prefix, agg in (
             ("imgrn", aggregate_stats(engine_stats)),
@@ -344,7 +348,9 @@ def vs_baseline(
         if include_linear_scan:
             scan = LinearScanEngine(database, config)
             scan.build()
-            agg = aggregate_stats([scan.query(q, gamma=gamma, alpha=alpha).stats for q in queries])
+            agg = aggregate_stats(
+                [scan.query(q, gamma=gamma, alpha=alpha).stats for q in queries]
+            )
             row["scan_cpu"] = agg["cpu_seconds"]
             row["scan_io"] = agg["io_accesses"]
             row["scan_candidates"] = agg["candidates"]
@@ -358,7 +364,10 @@ def vs_baseline(
 def _sweep_row(
     workload: Workload, gamma: float, alpha: float
 ) -> dict[str, float]:
-    stats = [workload.engine.query(q, gamma=gamma, alpha=alpha).stats for q in workload.queries]
+    stats = [
+        workload.engine.query(q, gamma=gamma, alpha=alpha).stats
+        for q in workload.queries
+    ]
     agg = aggregate_stats(stats)
     return {
         "cpu_seconds": agg["cpu_seconds"],

@@ -82,7 +82,9 @@ class RStarTree:
         """Number of levels (1 for a single leaf root)."""
         return self.root.level + 1
 
-    def insert(self, point: np.ndarray, gene_id: int, source_id: int, payload: int) -> None:
+    def insert(
+        self, point: np.ndarray, gene_id: int, source_id: int, payload: int
+    ) -> None:
         """Insert one embedded point.
 
         Raises
@@ -686,7 +688,9 @@ class RStarTree:
             if self._size > 0:
                 raise InternalError("non-empty tree has a node without MBR")
             return
-        if not is_root and not self.min_entries <= len(node.entries) <= self.max_entries:
+        if not is_root and not (
+            self.min_entries <= len(node.entries) <= self.max_entries
+        ):
             raise InternalError(
                 f"node fan-out {len(node.entries)} outside "
                 f"[{self.min_entries}, {self.max_entries}]"

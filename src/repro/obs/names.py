@@ -22,6 +22,8 @@ __all__ = [
     "BUILD_SECONDS",
     "BUILD_MATRICES",
     "BUILD_POINTS",
+    "BUILD_SHARDS",
+    "BUILD_SHARD_SECONDS",
     "INFERENCE_PAIRS",
     "INFERENCE_CACHE_HITS",
     "INFERENCE_CACHE_MISSES",
@@ -49,12 +51,16 @@ INFERENCE_CACHE_MISSES = "inference.cache_misses"
 #: Matrices / index points registered during build (label: engine).
 BUILD_MATRICES = "build.matrices"
 BUILD_POINTS = "build.points"
+#: Build shards embedded (labels: engine, worker -- the stripe that ran it).
+BUILD_SHARDS = "build.shards"
 
 # -- histograms (seconds) ----------------------------------------------
 #: Per-query stage wall-clock (labels: engine, stage; see STAGE_*).
 STAGE_SECONDS = "query.stage_seconds"
 #: Index build wall-clock (label: engine).
 BUILD_SECONDS = "build.seconds"
+#: Per-shard embed wall-clock (labels: engine, worker).
+BUILD_SHARD_SECONDS = "build.shard_seconds"
 
 # -- stage label values of STAGE_SECONDS -------------------------------
 #: Query-graph inference (a sub-measure of the retrieve stage).

@@ -66,7 +66,9 @@ class TestBuild:
 class TestCorrectness:
     """The headline guarantee: index + pruning lose no true answers."""
 
-    @pytest.mark.parametrize("gamma,alpha", [(0.5, 0.5), (0.3, 0.2), (0.8, 0.5), (0.5, 0.0)])
+    @pytest.mark.parametrize(
+        "gamma,alpha", [(0.5, 0.5), (0.3, 0.2), (0.8, 0.5), (0.5, 0.0)]
+    )
     def test_matches_brute_force(
         self, built_engine, small_database, query_workload, gamma, alpha
     ):

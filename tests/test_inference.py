@@ -98,7 +98,9 @@ class TestSemanticsEquivalence:
         """Eq. 1 computed literally (|Pearson|) equals the two-sided dot
         form on the same permutation stream's distribution (statistically)."""
         x, y = _correlated_pair(rng, length=16, noise=0.8)
-        lit = edge_probability_correlation(x, y, n_samples=3000, rng=np.random.default_rng(1))
+        lit = edge_probability_correlation(
+            x, y, n_samples=3000, rng=np.random.default_rng(1)
+        )
         two = edge_probability_distance(
             x, y, n_samples=3000, rng=np.random.default_rng(2), semantics="two_sided"
         )

@@ -35,7 +35,9 @@ class TestLemma2:
     def test_monotone_in_delta(self):
         assert lemma2_sample_size(0.1, 0.01) > lemma2_sample_size(0.1, 0.2)
 
-    @pytest.mark.parametrize("eps,delta", [(0.0, 0.1), (1.0, 0.1), (0.1, 0.0), (0.1, 1.0)])
+    @pytest.mark.parametrize(
+        "eps,delta", [(0.0, 0.1), (1.0, 0.1), (0.1, 0.0), (0.1, 1.0)]
+    )
     def test_domain(self, eps, delta):
         with pytest.raises(ValidationError):
             lemma2_sample_size(eps, delta)

@@ -29,7 +29,9 @@ class TestStructure:
         assert not np.any(np.diag(mask))
 
     def test_density_near_target(self, rng):
-        masks = [generate_structure(100, 2.0, np.random.default_rng(s)) for s in range(10)]
+        masks = [
+            generate_structure(100, 2.0, np.random.default_rng(s)) for s in range(10)
+        ]
         avg_in_degree = float(np.mean([m.sum(axis=0).mean() for m in masks]))
         assert 1.5 < avg_in_degree < 2.5
 
