@@ -1,8 +1,9 @@
-"""CI smoke benchmark: small fig06 + fig13 runs with machine-readable output.
+"""CI smoke benchmark: small fig06 + fig13 + serve runs, machine-readable.
 
 Runs laptop-second-scale versions of the two headline experiments --
 IM-GRN vs Baseline querying (Fig. 6) and serial vs parallel index
-construction (Fig. 13) -- and writes the measurements to ``BENCH_CI.json``.
+construction (Fig. 13) -- plus a QueryServer 1-vs-8-thread throughput
+round, and writes the measurements to ``BENCH_CI.json``.
 The CI ``bench-smoke`` job compares that file against the committed
 ``benchmarks/baseline.json`` with :mod:`check_regression` and fails the
 build on a regression.
@@ -113,10 +114,29 @@ def bench_fig13_small() -> dict[str, float]:
     }
 
 
+def bench_serve_smoke() -> dict[str, float]:
+    """QueryServer throughput, 1 vs 8 worker threads, one fixed workload.
+
+    Delegates to :func:`bench_serve_throughput.smoke`, which also asserts
+    that the concurrent round is bit-identical to the serial one.
+    """
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        from bench_serve_throughput import smoke
+    finally:
+        sys.path.pop(0)
+    return smoke()
+
+
 #: Floors written into the baseline: keys that must stay >= the floor value.
-#: ``speedup_workers4`` is only enforced on multi-core runners (see
+#: ``speedup*`` floors are only enforced on multi-core runners (see
 #: check_regression.py) -- a 1-CPU box cannot show a parallel speedup.
-FLOORS = {"fig13_small.speedup_workers4": 2.0}
+FLOORS = {
+    "fig13_small.speedup_workers4": 2.0,
+    "serve_smoke.speedup_threads8": 3.0,
+}
 
 
 def run() -> dict[str, object]:
@@ -124,6 +144,7 @@ def run() -> dict[str, object]:
     for name, fn in (
         ("fig06_small", bench_fig06_small),
         ("fig13_small", bench_fig13_small),
+        ("serve_smoke", bench_serve_smoke),
     ):
         started = time.perf_counter()
         benches[name] = fn()

@@ -67,6 +67,13 @@ from .data.noise import add_noise, add_noise_to_database
 from .data.organisms import ORGANISMS, OrganismSpec, generate_organism_matrix
 from .data.queries import extract_query, generate_query_workload
 from .data.synthetic import generate_database, generate_matrix
+from .serve import (
+    QueryOutcome,
+    QueryServer,
+    QuerySpec,
+    ServeConfig,
+    TransientError,
+)
 from .obs import (
     MetricsRegistry,
     Tracer,
@@ -131,6 +138,12 @@ __all__ = [
     "load_engine",
     "save_engine_sharded",
     "load_engine_sharded",
+    # serving
+    "QueryServer",
+    "QuerySpec",
+    "QueryOutcome",
+    "ServeConfig",
+    "TransientError",
     # generalizations (Appendix A / future work)
     "AdHocMatchEngine",
     "FeatureCollection",

@@ -11,6 +11,7 @@ plus the operational commands::
 
     imgrn build --workers 4 --save index_dir   # parallel sharded build
     imgrn query --trace-out trace.json   # run queries, dump a Chrome trace
+    imgrn serve-batch --serve-workers 8  # concurrent batch via QueryServer
     imgrn stats metrics.json             # pretty-print a metrics snapshot
 
 Every option has a laptop-scale default; the sweeps reproduce the figure
@@ -227,6 +228,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics in Prometheus text format",
     )
 
+    serve = sub.add_parser(
+        "serve-batch",
+        help="serve a query batch concurrently through the QueryServer "
+        "(threads, deadlines, retries, result cache)",
+    )
+    serve.add_argument(
+        "--engine",
+        default="imgrn",
+        choices=["imgrn", "linear-scan", "baseline", "measure-scan"],
+    )
+    serve.add_argument("--n-matrices", type=int, default=40)
+    serve.add_argument(
+        "--genes-range",
+        type=int,
+        nargs=2,
+        default=[20, 40],
+        metavar=("LO", "HI"),
+    )
+    serve.add_argument("--n-q", type=int, default=4, help="genes per query graph")
+    serve.add_argument("--queries", type=int, default=8)
+    serve.add_argument("--gamma", type=float, default=0.5)
+    serve.add_argument("--alpha", type=float, default=0.5)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=4,
+        help="server thread-pool size (batch concurrency)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-query deadline in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve the batch this many times (later rounds hit the cache)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of all spans",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry as JSON",
+    )
+
     stats = sub.add_parser(
         "stats", help="render a metrics snapshot (JSON file or live registry)"
     )
@@ -408,6 +466,99 @@ def _run_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_batch(args: argparse.Namespace) -> int:
+    """Serve a synthetic query batch through the concurrent QueryServer."""
+    import time as _time
+
+    from .config import EngineConfig, ObservabilityConfig, SyntheticConfig
+    from .core.baseline import BaselineEngine, LinearScanEngine
+    from .core.measure_engine import MeasureScanEngine
+    from .core.query import IMGRNEngine
+    from .data.queries import generate_query_workload
+    from .data.synthetic import generate_database
+    from .obs.exporters import metrics_to_json, write_chrome_trace
+    from .serve import QueryServer, QuerySpec, ServeConfig
+
+    config = EngineConfig(
+        seed=args.seed,
+        observability=ObservabilityConfig(
+            tracing=args.trace_out is not None,
+            shared_registry=False,
+        ),
+    )
+    database = generate_database(
+        SyntheticConfig(genes_range=tuple(args.genes_range), seed=args.seed),
+        args.n_matrices,
+    )
+    engines = {
+        "imgrn": IMGRNEngine,
+        "linear-scan": LinearScanEngine,
+        "baseline": BaselineEngine,
+        "measure-scan": MeasureScanEngine,
+    }
+    engine = engines[args.engine](database, config=config)
+    build_seconds = engine.build()
+    workload = generate_query_workload(
+        database, args.n_q, count=args.queries, rng=args.seed
+    )
+    specs = [QuerySpec(m, args.gamma, args.alpha) for m in workload]
+    serve_config = ServeConfig(
+        max_workers=args.serve_workers,
+        timeout_seconds=args.timeout,
+        cache=not args.no_cache,
+    )
+    print(
+        f"{args.engine}: built {len(database)} matrices in "
+        f"{build_seconds:.3f}s; serving {len(specs)} queries on "
+        f"{serve_config.max_workers} thread(s), repeat={args.repeat}"
+    )
+    with QueryServer(engine, serve_config) as server:
+        for round_index in range(max(1, args.repeat)):
+            started = _time.perf_counter()
+            outcomes = server.batch(specs)
+            elapsed = _time.perf_counter() - started
+            by_status: dict[str, int] = {}
+            for outcome in outcomes:
+                by_status[outcome.status] = by_status.get(outcome.status, 0) + 1
+            status_text = ", ".join(
+                f"{count} {status}" for status, count in sorted(by_status.items())
+            )
+            rate = len(outcomes) / elapsed if elapsed > 0 else float("inf")
+            print(
+                f"round {round_index}: {status_text} in {elapsed:.3f}s "
+                f"({rate:.1f} queries/s)"
+            )
+        for outcome in outcomes:
+            answers = outcome.answer_sources()
+            detail = (
+                f"answers={answers}"
+                if outcome.ok
+                else f"error={outcome.error}"
+            )
+            print(
+                f"  query {outcome.index}: {outcome.status}, "
+                f"attempts={outcome.attempts}, "
+                f"{outcome.seconds:.3f}s, {detail}"
+            )
+        cache = server.stats()
+        print(
+            f"result cache: {cache['cache_hits']:.0f} hits / "
+            f"{cache['cache_misses']:.0f} misses "
+            f"({cache['cache_entries']:.0f} entries)"
+        )
+    if args.trace_out:
+        path = write_chrome_trace(engine.obs.tracer, args.trace_out)
+        print(f"trace written to {path}")
+    if args.metrics_out:
+        from pathlib import Path
+
+        Path(args.metrics_out).write_text(
+            metrics_to_json(engine.obs.metrics), encoding="utf-8"
+        )
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
 def _run_stats(path: str | None, output_format: str) -> int:
     """Render a metrics snapshot as a table, JSON or Prometheus text."""
     from .obs import get_registry
@@ -455,6 +606,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if name == "query":
         return _run_query(args)
+
+    if name == "serve-batch":
+        return _run_serve_batch(args)
 
     if name == "stats":
         return _run_stats(args.path, args.format)

@@ -24,9 +24,9 @@ import numpy as np
 from ..config import EngineConfig
 from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
-from ..errors import IndexNotBuiltError, ValidationError
+from ..errors import IndexNotBuiltError
 from ..eval.counters import QueryStats
-from ..obs import Observability
+from ..obs import MetricsRegistry, Observability
 from ..obs import names as _names
 from .batch_inference import BatchInferenceEngine, standardize_columns
 from .inference import EdgeProbabilityEstimator
@@ -38,7 +38,12 @@ from .pruning import (
     graph_existence_upper_bound,
     markov_edge_upper_bound,
 )
-from .query import IMGRNAnswer, IMGRNResult, _resolve_query_thresholds
+from .query import (
+    IMGRNAnswer,
+    IMGRNResult,
+    _check_thresholds,
+    _resolve_query_thresholds,
+)
 from .standardize import standardize_matrix
 
 __all__ = ["BaselineEngine", "LinearScanEngine"]
@@ -266,13 +271,9 @@ class BaselineEngine:
         gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
         if self._store is None:
             raise IndexNotBuiltError("call build() before query()")
-        if not 0.0 <= gamma < 1.0:
-            raise ValidationError(f"gamma must be in [0,1), got {gamma}")
-        if not 0.0 <= alpha < 1.0:
-            raise ValidationError(f"alpha must be in [0,1), got {alpha}")
-        metrics = self.obs.metrics
+        _check_thresholds(gamma, alpha)
+        metrics = MetricsRegistry()  # this query's private delta registry
         tracer = self.obs.tracer
-        mark = metrics.mark()
         started = time.perf_counter()
         with tracer.span("query", engine="baseline", gamma=gamma, alpha=alpha):
             with tracer.span("query.infer", genes=query_matrix.num_genes):
@@ -320,7 +321,8 @@ class BaselineEngine:
             metrics.counter(
                 _names.QUERY_COUNT, help="queries answered", engine="baseline"
             ).inc()
-        delta = metrics.since(mark)
+        delta = metrics.snapshot()
+        self.obs.metrics.merge(metrics)
         return IMGRNResult(
             query_graph, answers, QueryStats.from_metrics(delta), metrics=delta
         )
@@ -392,11 +394,9 @@ class LinearScanEngine:
         gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
         if not self._standardized:
             raise IndexNotBuiltError("call build() before query()")
-        if not 0.0 <= alpha < 1.0:
-            raise ValidationError(f"alpha must be in [0,1), got {alpha}")
-        metrics = self.obs.metrics
+        _check_thresholds(gamma, alpha)
+        metrics = MetricsRegistry()  # this query's private delta registry
         tracer = self.obs.tracer
-        mark = metrics.mark()
         pruned_edge = metrics.counter(
             _names.QUERY_PRUNED,
             help="matrices discarded by pruning",
@@ -513,7 +513,8 @@ class LinearScanEngine:
             metrics.counter(
                 _names.QUERY_COUNT, help="queries answered", engine="linear_scan"
             ).inc()
-        delta = metrics.since(mark)
+        delta = metrics.snapshot()
+        self.obs.metrics.merge(metrics)
         return IMGRNResult(
             query_graph, answers, QueryStats.from_metrics(delta), metrics=delta
         )
@@ -525,8 +526,7 @@ def _infer_query_graph(
     inference: BatchInferenceEngine,
 ) -> ProbabilisticGraph:
     """Shared query-graph inference for the competitor engines (batched)."""
-    if not 0.0 <= gamma < 1.0:
-        raise ValidationError(f"gamma must be in [0,1), got {gamma}")
+    _check_thresholds(gamma)
     ids = query_matrix.gene_ids
     std = standardize_columns(query_matrix.values)
     pairs = [

@@ -25,6 +25,7 @@ and estimator parameters, in any evaluation order.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -212,6 +213,11 @@ class EdgeProbabilityCache:
     seed, exact_below)``, so a hit is guaranteed to hold exactly the value
     the estimator would recompute -- the inference threshold ``gamma``
     never enters the key because probabilities are threshold-free.
+
+    Thread-safe: one engine-wide cache is shared by every concurrent
+    query (the LRU recency list and hit/miss tallies mutate on reads),
+    so all operations take the cache lock. Values are immutable floats
+    or read-only arrays, so a hit needs no copy.
     """
 
     def __init__(self, max_entries: int = 262_144):
@@ -223,37 +229,43 @@ class EdgeProbabilityCache:
         self.hits = 0
         self.misses = 0
         self._data: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: tuple) -> object | None:
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: tuple, value: object) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.max_entries:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, float]:
-        return {
-            "cache_entries": float(len(self._data)),
-            "cache_hits": float(self.hits),
-            "cache_misses": float(self.misses),
-        }
+        with self._lock:
+            return {
+                "cache_entries": float(len(self._data)),
+                "cache_hits": float(self.hits),
+                "cache_misses": float(self.misses),
+            }
 
 
 class BatchInferenceEngine:
@@ -388,18 +400,25 @@ class BatchInferenceEngine:
         out: dict[tuple[int, int], float] = {}
         missing_by_t: dict[int, list[int]] = {}
         keys: dict[tuple[int, int], tuple] = {}
+        # Tally hits locally and update the shared counters once per call:
+        # concurrent queries would interleave (and lose) per-pair adds.
+        hits = 0
         for s, t in pairs:
             if self.cache is not None:
                 key = (seed_of(s), seed_of(t), *params)
                 keys[(s, t)] = key
                 hit = self.cache.get(key)
                 if hit is not None:
-                    self._cache_hit_count.inc()
+                    hits += 1
                     out[(s, t)] = float(hit)  # type: ignore[arg-type]
                     continue
-                self._cache_miss_count.inc()
             missing_by_t.setdefault(t, []).append(s)
         computed = sum(len(v) for v in missing_by_t.values())
+        if self.cache is not None:
+            if hits:
+                self._cache_hit_count.inc(hits)
+            if computed:
+                self._cache_miss_count.inc(computed)
         self._pairs_estimated.inc(computed)
         with self.obs.tracer.span(
             "inference.pair_block", pairs=len(pairs), computed=computed

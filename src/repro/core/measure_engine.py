@@ -27,13 +27,18 @@ from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import IndexNotBuiltError, ValidationError
 from ..eval.counters import QueryStats, Stopwatch
-from ..obs import Observability
+from ..obs import MetricsRegistry, Observability
 from ..obs import names as _names
 from .batch_inference import EdgeProbabilityCache
 from .matching import Embedding
 from .measures import MEASURES, ScoreFunction, randomized_measure_probability
 from .probgraph import ProbabilisticGraph
-from .query import IMGRNAnswer, IMGRNResult, _resolve_query_thresholds
+from .query import (
+    IMGRNAnswer,
+    IMGRNResult,
+    _check_thresholds,
+    _resolve_query_thresholds,
+)
 from .randomization import content_seed
 
 __all__ = ["MeasureScanEngine"]
@@ -138,8 +143,7 @@ class MeasureScanEngine:
         self, query_matrix: GeneFeatureMatrix, gamma: float
     ) -> ProbabilisticGraph:
         """Query GRN under the configured measure at threshold ``gamma``."""
-        if not 0.0 <= gamma < 1.0:
-            raise ValidationError(f"gamma must be in [0,1), got {gamma}")
+        _check_thresholds(gamma)
         ids = query_matrix.gene_ids
         edges: dict[tuple[int, int], float] = {}
         for s in range(len(ids)):
@@ -162,9 +166,8 @@ class MeasureScanEngine:
         gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
         if not self._built:
             raise IndexNotBuiltError("call build() before query()")
-        if not 0.0 <= alpha < 1.0:
-            raise ValidationError(f"alpha must be in [0,1), got {alpha}")
-        metrics = self.obs.metrics
+        _check_thresholds(gamma, alpha)
+        metrics = MetricsRegistry()  # this query's private delta registry
         tracer = self.obs.tracer
 
         def stage_timer(stage: str):
@@ -175,7 +178,6 @@ class MeasureScanEngine:
                 stage=stage,
             )
 
-        mark = metrics.mark()
         started = time.perf_counter()
         with tracer.span("query", engine=_ENGINE, gamma=gamma, alpha=alpha):
             with tracer.span("query.infer", genes=query_matrix.num_genes):
@@ -248,7 +250,8 @@ class MeasureScanEngine:
             metrics.counter(
                 _names.QUERY_COUNT, help="queries answered", engine=_ENGINE
             ).inc()
-        delta = metrics.since(mark)
+        delta = metrics.snapshot()
+        self.obs.metrics.merge(metrics)
         return IMGRNResult(
             query_graph, answers, QueryStats.from_metrics(delta), metrics=delta
         )

@@ -19,7 +19,6 @@ queries identically to the one that was saved (asserted in tests).
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import io as _io
 import json
 import time
@@ -230,16 +229,11 @@ def _matrix_fingerprint(matrix: GeneFeatureMatrix) -> str:
 
     Two matrices with equal fingerprints embed identically under the same
     engine config and seed, so a stored embedding whose fingerprint still
-    matches can be reused without re-running pivot selection.
+    matches can be reused without re-running pivot selection. Delegates to
+    :meth:`repro.data.matrix.GeneFeatureMatrix.fingerprint` (memoized),
+    which the serving layer's result cache also keys on.
     """
-    digest = hashlib.sha256()
-    values = np.ascontiguousarray(matrix.values, dtype=np.float64)
-    digest.update(str(values.shape).encode("utf-8"))
-    digest.update(values.tobytes())
-    digest.update(np.asarray(matrix.gene_ids, dtype=np.int64).tobytes())
-    for u, v in sorted(matrix.truth_edges):
-        digest.update(f"{u},{v};".encode("utf-8"))
-    return digest.hexdigest()
+    return matrix.fingerprint()
 
 
 def _embedding_config_key(config: EngineConfig) -> dict:

@@ -44,7 +44,7 @@ from ..index.invertedfile import SOURCE_SALT, InvertedBitVectorFile
 from ..index.node import Node
 from ..index.pagemanager import PageManager
 from ..index.rstartree import RStarTree
-from ..obs import Observability
+from ..obs import MetricsRegistry, Observability
 from ..obs import names as _names
 from .batch_inference import BatchInferenceEngine, standardize_columns
 from .embedding import EmbeddedMatrix
@@ -98,6 +98,47 @@ def _resolve_query_thresholds(
     if gamma is None or alpha is None:
         raise TypeError("query() missing required arguments 'gamma' and 'alpha'")
     return float(gamma), float(alpha)
+
+
+def _resolve_topk_args(
+    args: tuple, gamma: float | None, k: int | None
+) -> tuple[float, int]:
+    """Back-compat shim for the unified ``query_topk()`` signature.
+
+    Mirrors :func:`_resolve_query_thresholds`: ``gamma`` and ``k`` are
+    keyword-only, the legacy positional ``(gamma, k)`` form still works
+    but emits a :class:`DeprecationWarning`.
+    """
+    if args:
+        if (
+            len(args) > 2
+            or gamma is not None
+            or (len(args) == 2 and k is not None)
+        ):
+            raise TypeError(
+                "query_topk() takes gamma and k once each; got "
+                f"{len(args)} positional argument(s) plus keyword(s)"
+            )
+        warnings.warn(
+            "passing gamma/k positionally to query_topk() is deprecated; "
+            "use query_topk(matrix, gamma=..., k=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        gamma = args[0]
+        if len(args) == 2:
+            k = int(args[1])
+    if gamma is None or k is None:
+        raise TypeError("query_topk() missing required arguments 'gamma' and 'k'")
+    return float(gamma), int(k)
+
+
+def _check_thresholds(gamma: float, alpha: float | None = None) -> None:
+    """Uniform domain validation shared by every engine's query path."""
+    if not 0.0 <= gamma < 1.0:
+        raise ValidationError(f"gamma must be in [0,1), got {gamma}")
+    if alpha is not None and not 0.0 <= alpha < 1.0:
+        raise ValidationError(f"alpha must be in [0,1), got {alpha}")
 
 
 @dataclass(frozen=True)
@@ -402,7 +443,11 @@ class IMGRNEngine:
     # Query-graph inference (Fig. 4, line 1)
     # ------------------------------------------------------------------
     def infer_query_graph(
-        self, query_matrix: GeneFeatureMatrix, gamma: float
+        self,
+        query_matrix: GeneFeatureMatrix,
+        gamma: float,
+        *,
+        metrics=None,
     ) -> ProbabilisticGraph:
         """Infer ``Q`` from ``M_Q`` with edge-inference pruning first.
 
@@ -411,11 +456,16 @@ class IMGRNEngine:
         in one batched pass (one permutation block per surviving target
         column, see :mod:`repro.core.batch_inference`), and edges with
         ``p > gamma`` survive.
+
+        ``metrics`` is the registry the Lemma-3 pruning counter records
+        into -- :meth:`query` passes its per-query registry; direct
+        callers default to the engine's shared one.
         """
-        if not 0.0 <= gamma < 1.0:
-            raise ValidationError(f"gamma must be in [0,1), got {gamma}")
+        _check_thresholds(gamma)
+        if metrics is None:
+            metrics = self.obs.metrics
         tracer = self.obs.tracer
-        pruned_lemma3 = self.obs.metrics.counter(
+        pruned_lemma3 = metrics.counter(
             _names.QUERY_PRUNED,
             help="pairs discarded by pruning",
             engine=_ENGINE,
@@ -450,9 +500,9 @@ class IMGRNEngine:
     # ------------------------------------------------------------------
     # Query (Fig. 4)
     # ------------------------------------------------------------------
-    def _stage_timer(self, stage: str):
-        """The engine's ``query.stage_seconds`` histogram for ``stage``."""
-        return self.obs.metrics.histogram(
+    def _stage_timer(self, stage: str, metrics):
+        """The ``query.stage_seconds`` histogram for ``stage`` on ``metrics``."""
+        return metrics.histogram(
             _names.STAGE_SECONDS,
             help="per-query stage wall-clock seconds",
             engine=_ENGINE,
@@ -471,22 +521,29 @@ class IMGRNEngine:
         ``gamma``/``alpha`` are keyword-only under the unified
         :class:`repro.core.QueryEngine` API; positional thresholds still
         work with a :class:`DeprecationWarning`.
+
+        The read path is reentrant: all per-query accounting lives in a
+        private :class:`~repro.obs.MetricsRegistry` and a private
+        :class:`~repro.index.pagemanager.PageCounter`, merged into the
+        engine's shared registry at the end -- any number of threads may
+        call ``query()`` on one built engine concurrently and every
+        result carries exactly its own stats.
         """
         gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
         if self.tree is None or self.inverted_file is None:
             raise IndexNotBuiltError("call build() before query()")
-        if not 0.0 <= alpha < 1.0:
-            raise ValidationError(f"alpha must be in [0,1), got {alpha}")
-        metrics = self.obs.metrics
+        _check_thresholds(gamma, alpha)
+        local = MetricsRegistry()  # this query's private delta registry
+        pages = self.pages.counter()  # this query's private I/O tally
         tracer = self.obs.tracer
-        mark = metrics.mark()
-        self.pages.reset()
         started = time.perf_counter()
         with tracer.span("query", engine=_ENGINE, gamma=gamma, alpha=alpha):
             with tracer.span("query.infer", genes=query_matrix.num_genes):
                 infer_started = time.perf_counter()
-                query_graph = self.infer_query_graph(query_matrix, gamma)
-                self._stage_timer(_names.STAGE_INFERENCE).observe(
+                query_graph = self.infer_query_graph(
+                    query_matrix, gamma, metrics=local
+                )
+                self._stage_timer(_names.STAGE_INFERENCE, local).observe(
                     time.perf_counter() - infer_started
                 )
             if query_graph.num_edges == 0:
@@ -506,24 +563,24 @@ class IMGRNEngine:
                     neighbors=len(neighbor_genes),
                 ):
                     candidate_pairs = self._traverse(
-                        anchor, neighbor_genes, gamma
+                        anchor, neighbor_genes, gamma, pages=pages, metrics=local
                     )  # {(source_id, neighbor_gene): edge upper bound}
                 with tracer.span("query.filter", pairs=len(candidate_pairs)):
                     surviving_sources = self._graph_existence_filter(
-                        candidate_pairs, neighbor_genes, alpha
+                        candidate_pairs, neighbor_genes, alpha, metrics=local
                     )
                 candidates = sum(
                     1
                     for (source, _g) in candidate_pairs
                     if source in surviving_sources
                 )
-            self._stage_timer(_names.STAGE_RETRIEVE).observe(
+            self._stage_timer(_names.STAGE_RETRIEVE, local).observe(
                 time.perf_counter() - started
             )
-            metrics.counter(
+            local.counter(
                 _names.QUERY_IO, help="page accesses", engine=_ENGINE
-            ).inc(self.pages.accesses)
-            metrics.counter(
+            ).inc(pages.accesses)
+            local.counter(
                 _names.QUERY_CANDIDATES,
                 help="candidates surviving all pruning",
                 engine=_ENGINE,
@@ -535,17 +592,18 @@ class IMGRNEngine:
                 answers = self._refine(
                     query_graph, surviving_sources, gamma, alpha
                 )
-                self._stage_timer(_names.STAGE_REFINE).observe(
+                self._stage_timer(_names.STAGE_REFINE, local).observe(
                     time.perf_counter() - refine_started
                 )
                 refine_span.set(answers=len(answers))
-            metrics.counter(
+            local.counter(
                 _names.QUERY_ANSWERS, help="answers returned", engine=_ENGINE
             ).inc(len(answers))
-            metrics.counter(
+            local.counter(
                 _names.QUERY_COUNT, help="queries answered", engine=_ENGINE
             ).inc()
-        delta = metrics.since(mark)
+        delta = local.snapshot()
+        self.obs.metrics.merge(local)
         return IMGRNResult(
             query_graph, answers, QueryStats.from_metrics(delta), metrics=delta
         )
@@ -553,8 +611,9 @@ class IMGRNEngine:
     def query_topk(
         self,
         query_matrix: GeneFeatureMatrix,
-        gamma: float,
-        k: int,
+        *args: float,
+        gamma: float | None = None,
+        k: int | None = None,
     ) -> IMGRNResult:
         """Top-k variant: the ``k`` matches with highest ``Pr{G}``.
 
@@ -563,7 +622,12 @@ class IMGRNEngine:
         natural ranking interface for the biomarker / classification use
         cases, where the analyst wants "the best supporting evidence"
         rather than a threshold.
+
+        ``gamma``/``k`` are keyword-only, aligned with :meth:`query` so
+        the serving layer dispatches both uniformly; the legacy positional
+        ``(gamma, k)`` form still works with a :class:`DeprecationWarning`.
         """
+        gamma, k = _resolve_topk_args(args, gamma, k)
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
         result = self.query(query_matrix, gamma=gamma, alpha=0.0)
@@ -688,14 +752,18 @@ class IMGRNEngine:
         anchor: int,
         neighbor_genes: list[int],
         gamma: float,
+        *,
+        pages,
+        metrics,
     ) -> dict[tuple[int, int], float]:
         assert self.tree is not None and self.inverted_file is not None
         config = self.config
         bits = config.bitvector_bits
         d = config.num_pivots
         # Hoisted per-stage pruning counters: one attribute add per event
-        # inside consider_pair, no registry lookups on the hot path.
-        metrics = self.obs.metrics
+        # inside consider_pair, no registry lookups on the hot path. The
+        # counters live on the caller's per-query registry, so concurrent
+        # traversals never interleave their tallies.
         pruned_help = "pairs discarded by pruning"
 
         def pruned(stage: str):
@@ -764,7 +832,7 @@ class IMGRNEngine:
             heapq.heappush(queue, (level, next(tie), node_s, node_t))
 
         root = self.tree.root
-        self.pages.access(root.page_id)
+        pages.access(root.page_id)
         if root.is_leaf:
             self._scan_leaf_pair(
                 root, root, anchor, neighbor_set, gamma, candidates, pruned_leaf
@@ -776,9 +844,9 @@ class IMGRNEngine:
 
         while queue:
             level, _tie, node_s, node_t = heapq.heappop(queue)
-            self.pages.access(node_s.page_id)
+            pages.access(node_s.page_id)
             if node_t is not node_s:
-                self.pages.access(node_t.page_id)
+                pages.access(node_t.page_id)
             if level == 0:
                 self._scan_leaf_pair(
                     node_s,
@@ -852,8 +920,9 @@ class IMGRNEngine:
         candidate_pairs: dict[tuple[int, int], float],
         neighbor_genes: list[int],
         alpha: float,
+        *,
+        metrics,
     ) -> list[int]:
-        metrics = self.obs.metrics
         pruned_missing = metrics.counter(
             _names.QUERY_PRUNED,
             help="pairs discarded by pruning",

@@ -42,7 +42,14 @@ class GeneFeatureMatrix:
         used by accuracy experiments only.
     """
 
-    __slots__ = ("_values", "_gene_ids", "_source_id", "_truth_edges", "_index_of")
+    __slots__ = (
+        "_values",
+        "_gene_ids",
+        "_source_id",
+        "_truth_edges",
+        "_index_of",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -94,6 +101,7 @@ class GeneFeatureMatrix:
                 )
             edges.add(key)
         self._truth_edges = frozenset(edges)
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -189,6 +197,28 @@ class GeneFeatureMatrix:
     def standardized(self) -> np.ndarray:
         """Column-standardized copy of the values (zero mean, unit variance)."""
         return standardize_matrix(self._values)
+
+    def fingerprint(self) -> str:
+        """Content hash of this matrix (values + gene IDs + truth edges).
+
+        Two matrices with equal fingerprints are interchangeable inputs
+        to every engine: they embed identically under the same config and
+        seed, and infer the same query graph. The persistence layer keys
+        stored embeddings on it, and the serving layer keys its result
+        cache on ``(fingerprint, gamma, alpha)``. Computed once and
+        memoized (the value array is immutable).
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(str(self._values.shape).encode("utf-8"))
+            digest.update(np.ascontiguousarray(self._values).tobytes())
+            digest.update(np.asarray(self._gene_ids, dtype=np.int64).tobytes())
+            for u, v in sorted(self._truth_edges):
+                digest.update(f"{u},{v};".encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derivation

@@ -4,13 +4,14 @@ from .bitvector import hash_bit, signature, signature_many, signatures_overlap
 from .invertedfile import InvertedBitVectorFile
 from .mbr import MBR
 from .node import LeafEntry, Node
-from .pagemanager import PageManager
+from .pagemanager import PageCounter, PageManager
 from .rstartree import RStarTree
 
 __all__ = [
     "MBR",
     "LeafEntry",
     "Node",
+    "PageCounter",
     "PageManager",
     "RStarTree",
     "InvertedBitVectorFile",

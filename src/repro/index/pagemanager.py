@@ -2,17 +2,48 @@
 
 The paper reports I/O cost as the *number of page accesses* during query
 processing, with one tree node per page. This module reproduces that metric
-without an actual disk: every node registers a page, and the engine calls
-:meth:`PageManager.access` whenever it reads a node's contents. A no-buffer
-model is used (every access counts), matching how the paper's numbers scale
-with the traversal rather than with a cache policy.
+without an actual disk: every node registers a page, and the engine charges
+one access whenever it reads a node's contents. A no-buffer model is used
+(every access counts), matching how the paper's numbers scale with the
+traversal rather than with a cache policy.
+
+Accounting is per *query*, not per manager: each query obtains its own
+:class:`PageCounter` handle via :meth:`PageManager.counter` and charges
+accesses against it, so concurrent queries over one shared index never
+corrupt each other's I/O counts. The manager keeps a legacy global
+counter (used by the tree's ``search``/``nearest`` oracle paths), but the
+query engines no longer call :meth:`PageManager.reset`.
 """
 
 from __future__ import annotations
 
 from ..errors import ValidationError
 
-__all__ = ["PageManager"]
+__all__ = ["PageCounter", "PageManager"]
+
+
+class PageCounter:
+    """One query's page-access tally against a shared :class:`PageManager`.
+
+    Owned by exactly one query execution (one thread); ``access`` is a
+    bounds check plus an integer add, with no shared mutable state, so
+    any number of counters may charge against the same manager
+    concurrently and each still counts exactly its own traversal.
+    """
+
+    __slots__ = ("_manager", "accesses")
+
+    def __init__(self, manager: "PageManager"):
+        self._manager = manager
+        self.accesses = 0
+
+    def access(self, page_id: int) -> None:
+        """Record one read of ``page_id`` on this counter."""
+        self._manager.check_allocated(page_id)
+        self.accesses += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PageCounter(accesses={self.accesses})"
 
 
 class PageManager:
@@ -50,12 +81,20 @@ class PageManager:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def access(self, page_id: int) -> None:
-        """Record one read of ``page_id``."""
+    def check_allocated(self, page_id: int) -> None:
+        """Raise unless ``page_id`` was allocated by this manager."""
         if not 0 <= page_id < self._next_page:
             raise ValidationError(
                 f"page {page_id} was never allocated (have {self._next_page})"
             )
+
+    def counter(self) -> PageCounter:
+        """A fresh per-query access counter charging against this manager."""
+        return PageCounter(self)
+
+    def access(self, page_id: int) -> None:
+        """Record one read of ``page_id`` on the legacy global counter."""
+        self.check_allocated(page_id)
         if self._counting:
             self._accesses += 1
 

@@ -13,8 +13,15 @@ Two consumption styles are supported:
   totals of the whole process / engine lifetime;
 * **scoped deltas**: :meth:`MetricsRegistry.mark` snapshots the
   monotonic state and :meth:`MetricsRegistry.since` returns what changed
-  -- this is how one query's :class:`repro.eval.counters.QueryStats` is
-  carved out of the shared registry.
+  -- correct only when nothing else touches the registry in between;
+* **per-query registries**: a query creates a private
+  :class:`MetricsRegistry`, records into it without any locking (one
+  thread owns it), and the engine folds it into the shared registry at
+  the end with :meth:`MetricsRegistry.merge`. The private registry's
+  :meth:`~MetricsRegistry.snapshot` *is* the query's delta, exact even
+  when many queries run concurrently -- this is how
+  :class:`repro.eval.counters.QueryStats` is produced since the
+  concurrent query-serving layer landed.
 
 The process-global default registry is reachable via :func:`get_registry`;
 engines use it unless their :class:`repro.config.ObservabilityConfig`
@@ -189,7 +196,8 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
-        self._lock = threading.Lock()
+        # Reentrant: merge() holds the lock across get-or-create calls.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -273,6 +281,41 @@ class MetricsRegistry:
             else:
                 out[key] = value - mark.get(key, 0.0)
         return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one (thread-safe).
+
+        The backbone of the reentrant query path: each query records into
+        a private registry (no locks, single owner) and merges it into the
+        shared registry once, here, under one lock acquisition. Counters
+        and histograms accumulate; gauges take the other registry's
+        current value. Histograms must agree on bucket boundaries.
+        """
+        with self._lock:
+            for metric in other.collect():
+                if isinstance(metric, Counter):
+                    self.counter(
+                        metric.name, help=metric.help, **metric.labels
+                    ).value += metric.value
+                elif isinstance(metric, Gauge):
+                    self.gauge(
+                        metric.name, help=metric.help, **metric.labels
+                    ).set(metric.value)
+                elif isinstance(metric, Histogram):
+                    mine = self.histogram(
+                        metric.name,
+                        help=metric.help,
+                        buckets=metric.buckets,
+                        **metric.labels,
+                    )
+                    if mine.buckets != metric.buckets:
+                        raise ValidationError(
+                            f"histogram {metric.key} bucket mismatch on merge"
+                        )
+                    for i, count in enumerate(metric.counts):
+                        mine.counts[i] += count
+                    mine.sum += metric.sum
+                    mine.count += metric.count
 
     def reset(self) -> None:
         """Drop every registered series (tests / process recycling)."""

@@ -7,7 +7,10 @@ observes what) is documented in ``docs/observability.md``.
 
 Counters carry an ``engine`` label (``imgrn``, ``baseline``,
 ``linear_scan``, ``measure_scan``); ``query.pruned_pairs`` additionally
-carries a ``stage`` label naming the pruning rule that fired.
+carries a ``stage`` label naming the pruning rule that fired. The
+``serve.*`` series belong to :class:`repro.serve.QueryServer` and carry
+the wrapped engine's label; ``serve.queries`` adds a ``status`` label
+(``ok`` / ``cached`` / ``timeout`` / ``error``).
 """
 
 from __future__ import annotations
@@ -27,6 +30,12 @@ __all__ = [
     "INFERENCE_PAIRS",
     "INFERENCE_CACHE_HITS",
     "INFERENCE_CACHE_MISSES",
+    "SERVE_QUERIES",
+    "SERVE_RETRIES",
+    "SERVE_CACHE_HITS",
+    "SERVE_CACHE_MISSES",
+    "SERVE_QUERY_SECONDS",
+    "SERVE_BATCH_SECONDS",
     "STAGE_INFERENCE",
     "STAGE_RETRIEVE",
     "STAGE_REFINE",
@@ -53,6 +62,13 @@ BUILD_MATRICES = "build.matrices"
 BUILD_POINTS = "build.points"
 #: Build shards embedded (labels: engine, worker -- the stripe that ran it).
 BUILD_SHARDS = "build.shards"
+#: Queries finished by the serving layer (labels: engine, status).
+SERVE_QUERIES = "serve.queries"
+#: Retry attempts after transient failures (label: engine).
+SERVE_RETRIES = "serve.retries"
+#: Result-cache hits / misses of the serving layer (label: engine).
+SERVE_CACHE_HITS = "serve.cache_hits"
+SERVE_CACHE_MISSES = "serve.cache_misses"
 
 # -- histograms (seconds) ----------------------------------------------
 #: Per-query stage wall-clock (labels: engine, stage; see STAGE_*).
@@ -61,6 +77,10 @@ STAGE_SECONDS = "query.stage_seconds"
 BUILD_SECONDS = "build.seconds"
 #: Per-shard embed wall-clock (labels: engine, worker).
 BUILD_SHARD_SECONDS = "build.shard_seconds"
+#: Per-served-query wall-clock, queue wait included (label: engine).
+SERVE_QUERY_SECONDS = "serve.query_seconds"
+#: Whole-batch wall-clock of the serving layer (label: engine).
+SERVE_BATCH_SECONDS = "serve.batch_seconds"
 
 # -- stage label values of STAGE_SECONDS -------------------------------
 #: Query-graph inference (a sub-measure of the retrieve stage).

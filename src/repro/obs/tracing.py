@@ -17,11 +17,18 @@ The default tracer everywhere is :data:`NOOP_TRACER`: its ``span()``
 returns one shared do-nothing context manager, so instrumented hot paths
 pay only a method call and an (empty) kwargs dict when tracing is off --
 the overhead budget pinned by ``tests/test_obs.py``.
+
+The tracer is safe to share across threads (the concurrent query-serving
+layer records ``serve.query`` spans from worker threads): the open-span
+stack is thread-local, finished spans carry the recording thread's ID
+(their Chrome-trace lane), and the append-only ``spans`` list relies on
+the GIL's atomic ``list.append``.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 from ..errors import ValidationError
@@ -40,6 +47,7 @@ class Span:
         "cpu_start",
         "cpu_end",
         "depth",
+        "tid",
         "_tracer",
     )
 
@@ -51,6 +59,7 @@ class Span:
         self.cpu_start = 0.0
         self.cpu_end = 0.0
         self.depth = 0
+        self.tid = 0
         self._tracer = tracer
 
     def set(self, **attrs: object) -> "Span":
@@ -67,9 +76,10 @@ class Span:
         return self.cpu_end - self.cpu_start
 
     def __enter__(self) -> "Span":
-        tracer = self._tracer
-        self.depth = len(tracer._stack)
-        tracer._stack.append(self)
+        stack = self._tracer._stack
+        self.depth = len(stack)
+        self.tid = threading.get_ident()
+        stack.append(self)
         self.cpu_start = time.process_time()
         self.start = time.perf_counter()
         return self
@@ -78,11 +88,12 @@ class Span:
         self.end = time.perf_counter()
         self.cpu_end = time.process_time()
         tracer = self._tracer
-        if tracer._stack and tracer._stack[-1] is self:
-            tracer._stack.pop()
+        stack = tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
         else:  # pragma: no cover - misuse guard (out-of-order exit)
             try:
-                tracer._stack.remove(self)
+                stack.remove(self)
             except ValueError:
                 pass
         if len(tracer.spans) < tracer.capacity:
@@ -108,8 +119,16 @@ class Tracer:
         self.capacity = capacity
         self.spans: list[Span] = []
         self.dropped = 0
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self._epoch = time.perf_counter()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack (nesting is per thread)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attrs: object) -> Span:
         """A new span context manager; record by entering it."""
@@ -129,6 +148,8 @@ class Tracer:
         travel in ``args``.
         """
         pid = os.getpid()
+        # Compact thread lanes: the first thread seen gets tid 1, etc.
+        lanes: dict[int, int] = {}
         events: list[dict] = []
         for span in sorted(self.spans, key=lambda s: s.start):
             events.append(
@@ -136,7 +157,7 @@ class Tracer:
                     "name": span.name,
                     "ph": "X",
                     "pid": pid,
-                    "tid": 1,
+                    "tid": lanes.setdefault(span.tid, len(lanes) + 1),
                     "ts": (span.start - self._epoch) * 1e6,
                     "dur": span.wall_seconds * 1e6,
                     "args": {

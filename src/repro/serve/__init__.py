@@ -1,0 +1,25 @@
+"""Concurrent query-serving layer (see ``docs/serving.md``).
+
+:class:`QueryServer` wraps any built :class:`repro.core.QueryEngine`
+and serves batches or streams of IM-GRN queries concurrently, with
+per-query deadlines, bounded retry with backoff on transient failures,
+and a content-keyed LRU result cache.
+"""
+
+from .server import (
+    QueryOutcome,
+    QueryServer,
+    QuerySpec,
+    ResultCache,
+    ServeConfig,
+    TransientError,
+)
+
+__all__ = [
+    "QueryOutcome",
+    "QueryServer",
+    "QuerySpec",
+    "ResultCache",
+    "ServeConfig",
+    "TransientError",
+]

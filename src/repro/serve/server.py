@@ -1,0 +1,531 @@
+"""Concurrent query serving over any :class:`repro.core.QueryEngine`.
+
+:class:`QueryServer` turns a built engine into a small query-serving
+layer: batches (or lazy streams) of IM-GRN queries execute concurrently
+on a ``ThreadPoolExecutor``, each with
+
+* a **per-query deadline** measured from submission (queue wait counts),
+* **bounded retry with exponential backoff** on configurable transient
+  failure types,
+* an **LRU result cache** keyed on ``(matrix fingerprint, gamma,
+  alpha)`` -- the same content fingerprint the persistence layer trusts
+  for embedding reuse, so a hit is guaranteed to be the exact result the
+  engine would recompute, and
+* **graceful degradation**: a timed-out or failed query yields a
+  structured :class:`QueryOutcome` carrying its status, attempt count
+  and elapsed seconds instead of poisoning the rest of the batch.
+
+Sharing one engine across worker threads is sound because the engines'
+read paths are reentrant (per-query metrics registries and page
+counters, a locked edge-probability cache) and deterministic (estimator
+randomness is content-keyed), so concurrent answers are bit-identical
+to serial ones. The server records the ``serve.*`` metric and span
+taxonomy documented in ``docs/observability.md``; all shared-registry
+updates happen under the server's own lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable, Iterator, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field, replace
+
+from ..core.query import IMGRNResult, _check_thresholds
+from ..data.matrix import GeneFeatureMatrix
+from ..errors import ReproError, ValidationError
+from ..obs import Observability
+from ..obs import names as _names
+
+__all__ = [
+    "QueryOutcome",
+    "QueryServer",
+    "QuerySpec",
+    "ResultCache",
+    "ServeConfig",
+    "TransientError",
+]
+
+#: Engine-class -> metric label, matching each engine's own series.
+_ENGINE_LABELS = {
+    "IMGRNEngine": "imgrn",
+    "BaselineEngine": "baseline",
+    "LinearScanEngine": "linear_scan",
+    "MeasureScanEngine": "measure_scan",
+}
+
+
+def _engine_label(engine: object) -> str:
+    name = type(engine).__name__
+    return _ENGINE_LABELS.get(name, name.lower())
+
+
+class TransientError(ReproError, RuntimeError):
+    """A failure worth retrying (flaky storage, racing rebuild, ...).
+
+    The default member of :attr:`ServeConfig.transient_errors`; raise it
+    from engine wrappers (or list additional exception types in the
+    config) to opt a failure mode into the server's retry policy.
+    """
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One query of a batch: the matrix plus its Definition-4 thresholds."""
+
+    matrix: GeneFeatureMatrix
+    gamma: float
+    alpha: float
+
+    def cache_key(self) -> tuple[str, float, float]:
+        return (self.matrix.fingerprint(), float(self.gamma), float(self.alpha))
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of :class:`QueryServer`.
+
+    Attributes
+    ----------
+    max_workers:
+        Worker threads of the pool (the batch concurrency level).
+    timeout_seconds:
+        Per-query deadline measured from submission; ``None`` disables
+        timeouts. Overridable per :meth:`QueryServer.batch` call.
+    max_retries:
+        Retries *after* the first attempt when a transient failure type
+        is raised (so a query runs at most ``max_retries + 1`` times).
+    backoff_seconds / backoff_multiplier:
+        Exponential backoff between attempts: the n-th retry sleeps
+        ``backoff_seconds * backoff_multiplier ** (n - 1)``.
+    transient_errors:
+        Exception types the retry policy applies to; anything else fails
+        the query immediately (status ``error``).
+    cache / cache_size:
+        Enable / bound the LRU result cache.
+    """
+
+    max_workers: int = 4
+    timeout_seconds: float | None = None
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    transient_errors: tuple[type[BaseException], ...] = (TransientError,)
+    cache: bool = True
+    cache_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValidationError(
+                f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_seconds < 0:
+            raise ValidationError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValidationError(
+                "backoff_multiplier must be >= 1, "
+                f"got {self.backoff_multiplier}"
+            )
+        if self.cache_size < 1:
+            raise ValidationError(
+                f"cache_size must be >= 1, got {self.cache_size}"
+            )
+
+
+@dataclass
+class QueryOutcome:
+    """What happened to one served query -- always returned, never raised.
+
+    ``status`` is one of ``ok`` (computed), ``cached`` (result-cache
+    hit), ``timeout`` (deadline expired; the batch continues) and
+    ``error`` (a non-transient failure, or transient retries exhausted).
+    Degraded outcomes keep their partial accounting -- ``attempts``,
+    ``seconds`` and the error text -- so a batch report stays complete.
+    """
+
+    index: int
+    spec: QuerySpec = field(repr=False)
+    status: str
+    result: IMGRNResult | None = None
+    error: str | None = None
+    attempts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+    def answer_sources(self) -> list[int]:
+        """Sorted matching source IDs (empty for degraded outcomes)."""
+        return self.result.answer_sources() if self.result else []
+
+
+class ResultCache:
+    """Thread-safe LRU of :class:`IMGRNResult` keyed by query content.
+
+    Keys are ``(matrix fingerprint, gamma, alpha)``; the threshold pair
+    is part of the key because both the inferred query graph and the
+    answer set depend on it. Hits return a shallow copy (fresh answers
+    list, fresh stats, fresh metrics dict) so callers that mutate a
+    result -- e.g. ``query_topk`` truncating answers -- cannot corrupt
+    the cached original.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._data: dict[tuple, IMGRNResult] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @staticmethod
+    def _copy(result: IMGRNResult) -> IMGRNResult:
+        return IMGRNResult(
+            result.query_graph,
+            list(result.answers),
+            replace(result.stats),
+            metrics=dict(result.metrics),
+        )
+
+    def get(self, key: tuple) -> IMGRNResult | None:
+        with self._lock:
+            result = self._data.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            # dicts preserve insertion order: re-insert == touch.
+            del self._data[key]
+            self._data[key] = result
+            self.hits += 1
+            return self._copy(result)
+
+    def put(self, key: tuple, result: IMGRNResult) -> None:
+        value = self._copy(result)
+        with self._lock:
+            self._data.pop(key, None)
+            self._data[key] = value
+            while len(self._data) > self.max_entries:
+                del self._data[next(iter(self._data))]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "cache_entries": float(len(self._data)),
+                "cache_hits": float(self.hits),
+                "cache_misses": float(self.misses),
+            }
+
+
+class QueryServer:
+    """Serve batches / streams of IM-GRN queries over one built engine.
+
+    Parameters
+    ----------
+    engine:
+        Any :class:`repro.core.QueryEngine`; must be built before
+        queries are served (an unbuilt engine fails every query with
+        its usual :class:`~repro.errors.IndexNotBuiltError`).
+    config:
+        :class:`ServeConfig`; defaults serve 4-way with caching on.
+    obs:
+        Observability sink for the ``serve.*`` series; defaults to the
+        engine's own, so server and engine metrics land in one registry.
+
+    Use as a context manager (or call :meth:`close`) to release the
+    worker pool.
+    """
+
+    def __init__(
+        self,
+        engine,
+        config: ServeConfig | None = None,
+        obs: Observability | None = None,
+    ):
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.obs = obs if obs is not None else getattr(
+            engine, "obs", None
+        ) or Observability.disabled()
+        self.engine_label = _engine_label(engine)
+        self.cache = (
+            ResultCache(self.config.cache_size) if self.config.cache else None
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="imgrn-serve",
+        )
+        self._closed = False
+        # One lock serializes every shared-registry update the server
+        # makes; worker threads never touch the shared registry directly
+        # (engine-internal merges take the registry's own lock).
+        self._metrics_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        matrix: GeneFeatureMatrix,
+        *,
+        gamma: float,
+        alpha: float,
+        timeout: float | None = None,
+    ) -> QueryOutcome:
+        """Serve one query through the full cache/retry/deadline path."""
+        outcomes = self.batch(
+            [QuerySpec(matrix, gamma, alpha)], timeout=timeout
+        )
+        return outcomes[0]
+
+    def batch(
+        self,
+        specs: Sequence[QuerySpec],
+        *,
+        timeout: float | None = None,
+    ) -> list[QueryOutcome]:
+        """Serve a batch concurrently; outcomes come back in input order.
+
+        Every spec is validated *before* anything is dispatched, so a
+        malformed query raises :class:`~repro.errors.ValidationError`
+        immediately instead of surfacing as one degraded outcome among
+        many. Degradations that depend on runtime behavior (timeouts,
+        engine failures) never raise -- they yield their outcome.
+        """
+        return list(self.stream(specs, timeout=timeout))
+
+    def stream(
+        self,
+        specs: Iterable[QuerySpec],
+        *,
+        timeout: float | None = None,
+    ) -> Iterator[QueryOutcome]:
+        """Lazy :meth:`batch`: yield outcomes in input order as they land.
+
+        The whole batch is submitted up front (full pool concurrency);
+        consuming the iterator drains it one outcome at a time, so a
+        caller can pipeline post-processing against in-flight queries.
+        """
+        if self._closed:
+            raise ValidationError("QueryServer is closed")
+        specs = list(specs)
+        for spec in specs:  # validate everything before dispatch
+            _check_thresholds(spec.gamma, spec.alpha)
+        deadline = (
+            self.config.timeout_seconds if timeout is None else float(timeout)
+        )
+        if deadline is not None and deadline <= 0:
+            raise ValidationError(f"timeout must be > 0, got {deadline}")
+        return self._stream(specs, deadline)
+
+    def _stream(
+        self, specs: list[QuerySpec], deadline: float | None
+    ) -> Iterator[QueryOutcome]:
+        tracer = self.obs.tracer
+        batch_started = time.perf_counter()
+        with tracer.span(
+            "serve.batch",
+            engine=self.engine_label,
+            queries=len(specs),
+            workers=self.config.max_workers,
+        ) as batch_span:
+            submitted: list[tuple[Future, float]] = [
+                (self._pool.submit(self._execute, index, spec), time.perf_counter())
+                for index, spec in enumerate(specs)
+            ]
+            completed = 0
+            for index, (future, submit_time) in enumerate(submitted):
+                spec = specs[index]
+                remaining: float | None = None
+                if deadline is not None:
+                    remaining = deadline - (time.perf_counter() - submit_time)
+                try:
+                    outcome = future.result(
+                        timeout=None if remaining is None else max(0.0, remaining)
+                    )
+                except FutureTimeoutError:
+                    future.cancel()  # drop it if it never started
+                    outcome = QueryOutcome(
+                        index=index,
+                        spec=spec,
+                        status="timeout",
+                        error=f"deadline of {deadline}s expired",
+                        seconds=time.perf_counter() - submit_time,
+                    )
+                self._record(outcome)
+                completed += 1 if outcome.ok else 0
+                yield outcome
+            batch_span.set(completed=completed)
+        with self._metrics_lock:
+            self.obs.metrics.histogram(
+                _names.SERVE_BATCH_SECONDS,
+                help="whole-batch serve seconds",
+                engine=self.engine_label,
+            ).observe(time.perf_counter() - batch_started)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _execute(self, index: int, spec: QuerySpec) -> QueryOutcome:
+        """Run one query on a worker thread: cache, retry, degrade."""
+        tracer = self.obs.tracer
+        started = time.perf_counter()
+        key = spec.cache_key() if self.cache is not None else None
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                with tracer.span(
+                    "serve.cache_hit", engine=self.engine_label, query=index
+                ):
+                    pass
+                return QueryOutcome(
+                    index=index,
+                    spec=spec,
+                    status="cached",
+                    result=hit,
+                    seconds=time.perf_counter() - started,
+                )
+        attempts = 0
+        config = self.config
+        while True:
+            attempts += 1
+            try:
+                with tracer.span(
+                    "serve.query",
+                    engine=self.engine_label,
+                    query=index,
+                    attempt=attempts,
+                ):
+                    result = self.engine.query(
+                        spec.matrix, gamma=spec.gamma, alpha=spec.alpha
+                    )
+            except config.transient_errors as exc:
+                if attempts > config.max_retries:
+                    return QueryOutcome(
+                        index=index,
+                        spec=spec,
+                        status="error",
+                        error=f"retries exhausted: {exc}",
+                        attempts=attempts,
+                        seconds=time.perf_counter() - started,
+                    )
+                pause = config.backoff_seconds * (
+                    config.backoff_multiplier ** (attempts - 1)
+                )
+                with tracer.span(
+                    "serve.retry",
+                    engine=self.engine_label,
+                    query=index,
+                    attempt=attempts,
+                    backoff_seconds=pause,
+                ):
+                    if pause:
+                        time.sleep(pause)
+                continue
+            except Exception as exc:  # noqa: BLE001 - degrade, don't poison
+                return QueryOutcome(
+                    index=index,
+                    spec=spec,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=attempts,
+                    seconds=time.perf_counter() - started,
+                )
+            if self.cache is not None:
+                self.cache.put(key, result)
+            return QueryOutcome(
+                index=index,
+                spec=spec,
+                status="ok",
+                result=result,
+                attempts=attempts,
+                seconds=time.perf_counter() - started,
+            )
+
+    # ------------------------------------------------------------------
+    # Accounting (coordinator side only)
+    # ------------------------------------------------------------------
+    def _record(self, outcome: QueryOutcome) -> None:
+        metrics = self.obs.metrics
+        with self._metrics_lock:
+            metrics.counter(
+                _names.SERVE_QUERIES,
+                help="queries finished by the serving layer",
+                engine=self.engine_label,
+                status=outcome.status,
+            ).inc()
+            retries = max(0, outcome.attempts - 1)
+            if retries:
+                metrics.counter(
+                    _names.SERVE_RETRIES,
+                    help="retry attempts after transient failures",
+                    engine=self.engine_label,
+                ).inc(retries)
+            if self.cache is not None:
+                if outcome.status == "cached":
+                    metrics.counter(
+                        _names.SERVE_CACHE_HITS,
+                        help="serve result-cache hits",
+                        engine=self.engine_label,
+                    ).inc()
+                else:
+                    metrics.counter(
+                        _names.SERVE_CACHE_MISSES,
+                        help="serve result-cache misses",
+                        engine=self.engine_label,
+                    ).inc()
+            metrics.histogram(
+                _names.SERVE_QUERY_SECONDS,
+                help="per-served-query seconds (queue wait included)",
+                engine=self.engine_label,
+            ).observe(outcome.seconds)
+
+    def stats(self) -> dict[str, float]:
+        """Result-cache counters (all zero when caching is off)."""
+        if self.cache is None:
+            return {
+                "cache_entries": 0.0,
+                "cache_hits": 0.0,
+                "cache_misses": 0.0,
+            }
+        return self.cache.stats()

@@ -211,7 +211,7 @@ class TestStats:
 
     def test_topk_stats_populated(self, built_engine, query_workload):
         """query_topk must fill the same counters as query (bugfix audit)."""
-        stats = built_engine.query_topk(query_workload[0], 0.5, k=2).stats
+        stats = built_engine.query_topk(query_workload[0], gamma=0.5, k=2).stats
         assert stats.cpu_seconds > 0.0
         assert stats.refine_seconds > 0.0
         assert stats.inference_seconds > 0.0

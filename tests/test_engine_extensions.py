@@ -18,7 +18,7 @@ class TestQueryTopK:
     def test_topk_subset_of_unfiltered(self, built_engine, query_workload):
         query = query_workload[0]
         all_answers = built_engine.query(query, 0.5, 0.0)
-        top2 = built_engine.query_topk(query, 0.5, k=2)
+        top2 = built_engine.query_topk(query, gamma=0.5, k=2)
         assert len(top2.answers) <= 2
         assert set(top2.answer_sources()) <= set(all_answers.answer_sources())
 
@@ -33,18 +33,18 @@ class TestQueryTopK:
                 break
         assert query is not None, "workload should contain a multi-match query"
         k = max(1, len(all_answers) - 1)
-        top = built_engine.query_topk(query, 0.2, k=k).answers
+        top = built_engine.query_topk(query, gamma=0.2, k=k).answers
         best_probs = sorted((a.probability for a in all_answers), reverse=True)
         assert [a.probability for a in top] == best_probs[:k]
 
     def test_topk_sorted_descending(self, built_engine, query_workload):
-        top = built_engine.query_topk(query_workload[1], 0.5, k=5).answers
+        top = built_engine.query_topk(query_workload[1], gamma=0.5, k=5).answers
         probs = [a.probability for a in top]
         assert probs == sorted(probs, reverse=True)
 
     def test_k_domain(self, built_engine, query_workload):
         with pytest.raises(ValidationError):
-            built_engine.query_topk(query_workload[0], 0.5, k=0)
+            built_engine.query_topk(query_workload[0], gamma=0.5, k=0)
 
 
 class TestAddMatrix:

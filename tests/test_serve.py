@@ -1,0 +1,391 @@
+"""Concurrent query-serving layer: correctness under threads.
+
+The stress test is the PR's acceptance gate: an N-thread
+:class:`~repro.serve.QueryServer` batch must return answers and
+per-query count stats bit-identical to the serial engine. CI runs this
+file with ``PYTHONFAULTHANDLER=1`` and ``IMGRN_STRESS_THREADS=8``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro import (
+    IMGRNResult,
+    QueryServer,
+    QuerySpec,
+    ServeConfig,
+    TransientError,
+    ValidationError,
+)
+from repro.core.query import IMGRNEngine
+from repro.eval.counters import QueryStats
+from repro.obs import names as _names
+from repro.serve.server import ResultCache
+
+STRESS_THREADS = int(os.environ.get("IMGRN_STRESS_THREADS", "8"))
+
+#: Count fields of QueryStats that must be exact under concurrency
+#: (timing fields are wall-clock and legitimately vary).
+COUNT_FIELDS = ("io_accesses", "candidates", "answers", "pruned_pairs")
+
+
+def make_specs(query_workload, gammas=(0.3, 0.5, 0.7)):
+    return [
+        QuerySpec(matrix, gamma, 0.2)
+        for matrix in query_workload
+        for gamma in gammas
+    ]
+
+
+class TestStressBitIdentity:
+    def test_concurrent_batch_matches_serial(
+        self, built_engine: IMGRNEngine, query_workload
+    ):
+        """N threads x full workload: answers + count stats bit-identical."""
+        specs = make_specs(query_workload)
+        serial = [
+            built_engine.query(s.matrix, gamma=s.gamma, alpha=s.alpha)
+            for s in specs
+        ]
+        with QueryServer(
+            built_engine,
+            ServeConfig(max_workers=STRESS_THREADS, cache=False),
+        ) as server:
+            outcomes = server.batch(specs)
+        assert [o.index for o in outcomes] == list(range(len(specs)))
+        for outcome, reference in zip(outcomes, serial):
+            assert outcome.status == "ok"
+            result = outcome.result
+            assert result.answer_sources() == reference.answer_sources()
+            assert [a.probability for a in result.answers] == [
+                a.probability for a in reference.answers
+            ]
+            assert sorted(result.query_graph.edges()) == sorted(
+                reference.query_graph.edges()
+            )
+            for field in COUNT_FIELDS:
+                assert getattr(result.stats, field) == getattr(
+                    reference.stats, field
+                ), field
+
+    def test_stats_exact_under_repeated_concurrency(
+        self, built_engine: IMGRNEngine, query_workload
+    ):
+        """Per-query metrics deltas stay exact across repeated rounds."""
+        specs = make_specs(query_workload, gammas=(0.5,))
+        reference = [
+            built_engine.query(s.matrix, gamma=s.gamma, alpha=s.alpha)
+            for s in specs
+        ]
+        with QueryServer(
+            built_engine,
+            ServeConfig(max_workers=STRESS_THREADS, cache=False),
+        ) as server:
+            for _round in range(3):
+                for outcome, ref in zip(server.batch(specs), reference):
+                    stats = QueryStats.from_metrics(outcome.result.metrics)
+                    for field in COUNT_FIELDS:
+                        assert getattr(stats, field) == getattr(
+                            ref.stats, field
+                        )
+
+
+class TestCache:
+    def test_second_batch_hits_cache(self, built_engine, query_workload):
+        specs = make_specs(query_workload, gammas=(0.5,))
+        with QueryServer(built_engine, ServeConfig(max_workers=4)) as server:
+            first = server.batch(specs)
+            second = server.batch(specs)
+            assert all(o.status == "ok" for o in first)
+            assert all(o.status == "cached" for o in second)
+            assert server.stats()["cache_hits"] == len(specs)
+            for a, b in zip(first, second):
+                assert a.result.answer_sources() == b.result.answer_sources()
+                for field in COUNT_FIELDS:
+                    assert getattr(a.result.stats, field) == getattr(
+                        b.result.stats, field
+                    )
+
+    def test_cache_hit_is_isolated_copy(self, built_engine, query_workload):
+        """Mutating a served result must not corrupt the cached original."""
+        spec = QuerySpec(query_workload[0], 0.3, 0.0)
+        reference = built_engine.query(
+            spec.matrix, gamma=spec.gamma, alpha=spec.alpha
+        )
+        with QueryServer(built_engine, ServeConfig(max_workers=2)) as server:
+            first = server.batch([spec])[0]
+            first.result.answers.clear()
+            first.result.stats.answers = -1
+            second = server.batch([spec])[0]
+            assert second.status == "cached"
+            assert second.result.answer_sources() == reference.answer_sources()
+            assert second.result.stats.answers == reference.stats.answers
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        results = {
+            name: IMGRNResult(None, [], QueryStats()) for name in "abc"
+        }
+        cache.put(("a",), results["a"])
+        cache.put(("b",), results["b"])
+        assert cache.get(("a",)) is not None  # touches "a"
+        cache.put(("c",), results["c"])  # evicts "b"
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.get(("c",)) is not None
+
+    def test_distinct_thresholds_are_distinct_entries(
+        self, built_engine, query_workload
+    ):
+        matrix = query_workload[0]
+        with QueryServer(built_engine, ServeConfig(max_workers=2)) as server:
+            a = server.query(matrix, gamma=0.3, alpha=0.1)
+            b = server.query(matrix, gamma=0.7, alpha=0.1)
+            assert a.status == "ok" and b.status == "ok"
+            assert server.stats()["cache_entries"] == 2
+
+
+class _SleepyEngine:
+    """Stub engine: sleeps, then fails transiently N times before passing."""
+
+    def __init__(self, sleep_seconds=0.0, fail_times=0, exc=TransientError):
+        self.sleep_seconds = sleep_seconds
+        self.fail_times = fail_times
+        self.exc = exc
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    is_built = True
+
+    def build(self) -> float:
+        return 0.0
+
+    def query(self, matrix, *, gamma, alpha) -> IMGRNResult:
+        with self._lock:
+            self.calls += 1
+            remaining = self.fail_times
+            if remaining > 0:
+                self.fail_times -= 1
+        if self.sleep_seconds:
+            time.sleep(self.sleep_seconds)
+        if remaining > 0:
+            raise self.exc("flaky backend")
+        return IMGRNResult(None, [], QueryStats(answers=0))
+
+
+class TestDegradation:
+    def test_timeout_yields_structured_outcome(self, query_workload):
+        engine = _SleepyEngine(sleep_seconds=0.5)
+        config = ServeConfig(max_workers=2, timeout_seconds=0.05)
+        with QueryServer(engine, config) as server:
+            outcome = server.query(query_workload[0], gamma=0.5, alpha=0.2)
+        assert outcome.status == "timeout"
+        assert not outcome.ok
+        assert outcome.result is None
+        assert "deadline" in outcome.error
+        assert outcome.seconds >= 0.05
+        assert outcome.answer_sources() == []
+
+    def test_timeout_does_not_poison_batch(self, built_engine, query_workload):
+        """A stuck query degrades alone; real queries still serve."""
+        sleepy = _SleepyEngine(sleep_seconds=0.5)
+
+        class _Hybrid:
+            obs = built_engine.obs
+
+            def query(self, matrix, *, gamma, alpha):
+                if gamma > 0.8:  # the poisoned spec
+                    return sleepy.query(matrix, gamma=gamma, alpha=alpha)
+                return built_engine.query(matrix, gamma=gamma, alpha=alpha)
+
+        specs = [
+            QuerySpec(query_workload[0], 0.5, 0.2),
+            QuerySpec(query_workload[1], 0.9, 0.2),
+            QuerySpec(query_workload[2], 0.5, 0.2),
+        ]
+        config = ServeConfig(max_workers=3, timeout_seconds=0.2, cache=False)
+        with QueryServer(_Hybrid(), config) as server:
+            outcomes = server.batch(specs)
+        assert [o.status for o in outcomes] == ["ok", "timeout", "ok"]
+
+    def test_transient_failure_retries_then_succeeds(self, query_workload):
+        engine = _SleepyEngine(fail_times=2)
+        config = ServeConfig(
+            max_workers=1, max_retries=2, backoff_seconds=0.001
+        )
+        with QueryServer(engine, config) as server:
+            outcome = server.query(query_workload[0], gamma=0.5, alpha=0.2)
+        assert outcome.status == "ok"
+        assert outcome.attempts == 3
+        assert engine.calls == 3
+
+    def test_retry_exhaustion_degrades(self, query_workload):
+        engine = _SleepyEngine(fail_times=10)
+        config = ServeConfig(
+            max_workers=1, max_retries=2, backoff_seconds=0.001
+        )
+        with QueryServer(engine, config) as server:
+            outcome = server.query(query_workload[0], gamma=0.5, alpha=0.2)
+        assert outcome.status == "error"
+        assert "retries exhausted" in outcome.error
+        assert outcome.attempts == 3
+        assert engine.calls == 3  # max_retries + 1, bounded
+
+    def test_non_transient_error_fails_fast(self, query_workload):
+        engine = _SleepyEngine(fail_times=5, exc=RuntimeError)
+        config = ServeConfig(
+            max_workers=1, max_retries=3, backoff_seconds=0.001
+        )
+        with QueryServer(engine, config) as server:
+            outcome = server.query(query_workload[0], gamma=0.5, alpha=0.2)
+        assert outcome.status == "error"
+        assert outcome.attempts == 1
+        assert engine.calls == 1
+
+    def test_configurable_transient_types(self, query_workload):
+        engine = _SleepyEngine(fail_times=1, exc=OSError)
+        config = ServeConfig(
+            max_workers=1,
+            max_retries=1,
+            backoff_seconds=0.001,
+            transient_errors=(OSError,),
+        )
+        with QueryServer(engine, config) as server:
+            outcome = server.query(query_workload[0], gamma=0.5, alpha=0.2)
+        assert outcome.status == "ok"
+        assert outcome.attempts == 2
+
+
+class TestValidation:
+    def test_invalid_gamma_rejected_before_dispatch(
+        self, built_engine, query_workload
+    ):
+        with QueryServer(built_engine, ServeConfig(max_workers=1)) as server:
+            mark = built_engine.obs.metrics.mark()
+            with pytest.raises(ValidationError, match="gamma"):
+                server.batch([QuerySpec(query_workload[0], 1.5, 0.2)])
+            with pytest.raises(ValidationError, match="alpha"):
+                server.batch([QuerySpec(query_workload[0], 0.5, -0.1)])
+            # Nothing was served: the serve.queries counters never moved.
+            delta = built_engine.obs.metrics.since(mark)
+            assert not any(
+                key.startswith(_names.SERVE_QUERIES) and value
+                for key, value in delta.items()
+            )
+
+    def test_one_bad_spec_fails_whole_batch_upfront(
+        self, built_engine, query_workload
+    ):
+        specs = [
+            QuerySpec(query_workload[0], 0.5, 0.2),
+            QuerySpec(query_workload[1], -0.5, 0.2),
+        ]
+        with QueryServer(built_engine, ServeConfig(max_workers=1)) as server:
+            with pytest.raises(ValidationError):
+                server.batch(specs)
+
+    def test_closed_server_rejects_batches(self, built_engine, query_workload):
+        server = QueryServer(built_engine, ServeConfig(max_workers=1))
+        server.close()
+        with pytest.raises(ValidationError, match="closed"):
+            server.batch([QuerySpec(query_workload[0], 0.5, 0.2)])
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValidationError):
+            ServeConfig(max_workers=0)
+        with pytest.raises(ValidationError):
+            ServeConfig(timeout_seconds=0.0)
+        with pytest.raises(ValidationError):
+            ServeConfig(max_retries=-1)
+        with pytest.raises(ValidationError):
+            ServeConfig(backoff_multiplier=0.5)
+
+
+class TestEngineValidation:
+    """Satellite 1: gamma domain enforced uniformly across engines."""
+
+    @pytest.mark.parametrize("gamma", [-0.1, 1.0, 1.5])
+    def test_imgrn_rejects_out_of_range_gamma(
+        self, built_engine, query_workload, gamma
+    ):
+        with pytest.raises(ValidationError, match="gamma"):
+            built_engine.query(query_workload[0], gamma=gamma, alpha=0.2)
+
+    @pytest.mark.parametrize("engine_name", ["baseline", "linear", "measure"])
+    def test_scan_engines_reject_out_of_range_gamma(
+        self, small_database, query_workload, engine_name
+    ):
+        from repro import (
+            BaselineEngine,
+            EngineConfig,
+            LinearScanEngine,
+            MeasureScanEngine,
+        )
+
+        cls = {
+            "baseline": BaselineEngine,
+            "linear": LinearScanEngine,
+            "measure": MeasureScanEngine,
+        }[engine_name]
+        engine = cls(small_database, config=EngineConfig(mc_samples=16, seed=11))
+        engine.build()
+        with pytest.raises(ValidationError, match="gamma"):
+            engine.query(query_workload[0], gamma=1.2, alpha=0.2)
+
+
+class TestTopkShim:
+    def test_positional_topk_warns_and_matches_keyword(
+        self, built_engine, query_workload
+    ):
+        query = query_workload[0]
+        keyword = built_engine.query_topk(query, gamma=0.5, k=2)
+        with pytest.warns(DeprecationWarning, match="query_topk"):
+            positional = built_engine.query_topk(query, 0.5, 2)
+        assert positional.answer_sources() == keyword.answer_sources()
+
+    def test_duplicate_topk_arguments_rejected(
+        self, built_engine, query_workload
+    ):
+        with pytest.raises(TypeError):
+            built_engine.query_topk(query_workload[0], 0.5, gamma=0.5, k=2)
+        with pytest.raises(TypeError):
+            built_engine.query_topk(query_workload[0])
+
+    def test_topk_gamma_validated(self, built_engine, query_workload):
+        with pytest.raises(ValidationError, match="gamma"):
+            built_engine.query_topk(query_workload[0], gamma=1.5, k=2)
+
+
+class TestServeMetrics:
+    def test_serve_series_recorded(self, built_engine, query_workload):
+        specs = make_specs(query_workload, gammas=(0.4,))
+        mark = built_engine.obs.metrics.mark()
+        with QueryServer(built_engine, ServeConfig(max_workers=2)) as server:
+            server.batch(specs)
+            server.batch(specs)
+        delta = built_engine.obs.metrics.since(mark)
+        label = 'engine="imgrn"'
+        ok_key = f'{_names.SERVE_QUERIES}{{{label},status="ok"}}'
+        cached_key = f'{_names.SERVE_QUERIES}{{{label},status="cached"}}'
+        assert delta[ok_key] == len(specs)
+        assert delta[cached_key] == len(specs)
+        assert delta[f"{_names.SERVE_CACHE_HITS}{{{label}}}"] == len(specs)
+        assert delta[f"{_names.SERVE_CACHE_MISSES}{{{label}}}"] == len(specs)
+        assert (
+            delta[f"{_names.SERVE_QUERY_SECONDS}{{{label}}}_count"]
+            == 2 * len(specs)
+        )
+        assert delta[f"{_names.SERVE_BATCH_SECONDS}{{{label}}}_count"] == 2
+
+    def test_stream_yields_in_input_order(self, built_engine, query_workload):
+        specs = make_specs(query_workload, gammas=(0.6,))
+        with QueryServer(
+            built_engine, ServeConfig(max_workers=4, cache=False)
+        ) as server:
+            indices = [o.index for o in server.stream(specs)]
+        assert indices == list(range(len(specs)))
