@@ -6,6 +6,9 @@ Gate semantics:
   slower than ``baseline * (1 + tolerance)``. Getting faster never fails.
 * every other key is a deterministic counter: it fails when the relative
   difference exceeds the tolerance in either direction.
+* ``*_over_*`` ratio keys (e.g. ``vectorized_over_scalar``) likewise skip
+  the drift check but their floors are enforced on every machine -- a
+  single-process vectorization win does not need extra cores.
 * the baseline may carry a ``floors`` mapping (``"bench.key" -> minimum``);
   a floored key fails when the measured value drops below the minimum.
   Floors on ``speedup*`` keys are skipped on machines with fewer than four
@@ -53,7 +56,7 @@ def compare(
                 continue
             got = float(got_metrics[key])
             base = float(base_value)
-            if "speedup" in key:
+            if "speedup" in key or "_over_" in key:
                 # Machine-dependent ratio: gated by floors only, never by
                 # drift from the (possibly different-hardware) baseline.
                 continue
@@ -74,7 +77,9 @@ def compare(
 
     for dotted, minimum in sorted(baseline.get("floors", {}).items()):
         bench, _, key = dotted.partition(".")
-        if "speedup" in key and cpus < 4:
+        # ``_over_`` ratio floors (single-process vectorization wins) hold
+        # on any machine; parallel ``speedup`` floors need real cores.
+        if "speedup" in key and "_over_" not in key and cpus < 4:
             print(f"skipping floor {dotted} (only {cpus} CPU(s) available)")
             continue
         value = new_benches.get(bench, {}).get(key)

@@ -167,6 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pbuild.add_argument("--seed", type=int, default=7)
     pbuild.add_argument(
+        "--no-array-index",
+        action="store_true",
+        help="skip compacting the R*-tree into the array-backed read view "
+        "(disables the mmap-able index_arrays/ save format)",
+    )
+    pbuild.add_argument(
         "--save",
         default=None,
         metavar="PATH",
@@ -341,6 +347,7 @@ def _run_build(args: argparse.Namespace) -> int:
 
     config = EngineConfig(
         seed=args.seed,
+        use_array_index=not args.no_array_index,
         build=BuildConfig(
             workers=args.workers,
             shard_size=args.shard_size,
@@ -380,7 +387,8 @@ def _run_build(args: argparse.Namespace) -> int:
             print(
                 f"engine saved to {target}/ "
                 f"({len(report['written'])} shard(s) written, "
-                f"{len(report['skipped'])} unchanged)"
+                f"{len(report['skipped'])} unchanged, "
+                f"index arrays: {report['index_arrays']})"
             )
     if args.trace_out:
         path = write_chrome_trace(engine.obs.tracer, args.trace_out)

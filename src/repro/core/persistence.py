@@ -218,6 +218,60 @@ def _install_index(
     engine.pages.resume()
     engine.tree = tree
     engine.inverted_file = inverted
+    engine._recompact()
+    engine.build_seconds = time.perf_counter() - started
+
+
+def _install_mmap_index(
+    engine: IMGRNEngine,
+    meta: dict,
+    target: Path,
+    embeddings: dict[int, EmbeddedMatrix],
+) -> None:
+    """Install a memmapped array-store snapshot as the engine's index.
+
+    No object tree is built: the snapshot's arrays are mapped read-only
+    and become the traversal's read path directly. The page-ID space is
+    reserved on a fresh :class:`PageManager` so I/O accounting against
+    the snapshot's original page IDs still validates, and the inverted
+    file is rebuilt from the snapshot's (gene, source) entry columns --
+    signatures are order-independent ORs, so it matches the one saved
+    from bit for bit.
+    """
+    from ..index.arraystore import ArrayStore
+    from ..index.invertedfile import InvertedBitVectorFile
+    from ..index.pagemanager import PageManager
+
+    arrays_entry = meta.get("index_arrays")
+    if arrays_entry is None:
+        raise ValidationError(
+            f"{target}: save has no array-store snapshot; re-save with "
+            "use_array_index enabled or load with mmap_index=False"
+        )
+    store = ArrayStore.load(target / arrays_entry["directory"], mmap=True)
+    recorded = arrays_entry.get("fingerprint")
+    if recorded is not None and store.fingerprint() != recorded:
+        raise ValidationError(
+            f"{target}: array-store snapshot does not match its recorded "
+            "fingerprint; re-save the engine"
+        )
+    started = time.perf_counter()
+    engine.pages = PageManager()
+    engine.pages.reserve(store.pages_allocated)
+    inverted = InvertedBitVectorFile(engine.config.bitvector_bits)
+    gene_ids = store.entry_gene_ids
+    source_ids = store.entry_source_ids
+    for row in range(store.num_entries):
+        inverted.add(int(gene_ids[row]), int(source_ids[row]))
+    for matrix in engine.database:
+        engine._entries[matrix.source_id] = _MatrixEntry(
+            matrix=matrix,
+            embedded=embeddings[matrix.source_id],
+            standardized=standardize_matrix(matrix.values),
+        )
+    engine.tree = None
+    engine.array_index = store
+    engine.inverted_file = inverted
     engine.build_seconds = time.perf_counter() - started
 
 
@@ -257,6 +311,10 @@ def _shard_file_name(index: int) -> str:
     return f"shard_{index:04d}.npz"
 
 
+#: Sub-directory of a sharded save holding the array-store snapshot.
+_INDEX_ARRAYS_DIR = "index_arrays"
+
+
 def save_engine_sharded(
     engine: IMGRNEngine, directory: str | Path
 ) -> dict[str, list[str]]:
@@ -285,6 +343,7 @@ def save_engine_sharded(
     meta_path = target / "meta.json"
     previous_shards: dict[int, dict] = {}
     previous_config_key: dict | None = None
+    previous_arrays: dict | None = None
     if meta_path.is_file():
         try:
             previous = json.loads(meta_path.read_text(encoding="utf-8"))
@@ -292,6 +351,7 @@ def save_engine_sharded(
             previous = {}
         if previous.get("format_version") == _SHARDED_FORMAT_VERSION:
             previous_config_key = previous.get("embedding_config")
+            previous_arrays = previous.get("index_arrays")
             for entry in previous.get("shards", ()):
                 previous_shards[int(entry["index"])] = entry
 
@@ -338,19 +398,46 @@ def save_engine_sharded(
             stale = target / _shard_file_name(index)
             if stale.is_file():
                 stale.unlink()
+    # Array-store snapshot: the zero-copy read view of the index, written
+    # as raw .npy files that np.memmap can share across processes. The
+    # snapshot is rewritten only when its content fingerprint changed.
+    arrays_state = "absent"
+    arrays_entry: dict | None = None
+    if engine.array_index is not None:
+        fingerprint = engine.array_index.fingerprint()
+        arrays_dir = target / _INDEX_ARRAYS_DIR
+        arrays_entry = {
+            "directory": _INDEX_ARRAYS_DIR,
+            "fingerprint": fingerprint,
+            "num_entries": engine.array_index.num_entries,
+        }
+        unchanged = (
+            previous_arrays is not None
+            and previous_arrays.get("fingerprint") == fingerprint
+            and (arrays_dir / "header.json").is_file()
+        )
+        if unchanged:
+            arrays_state = "skipped"
+        else:
+            engine.array_index.save(arrays_dir)
+            arrays_state = "written"
     meta = {
         "format_version": _SHARDED_FORMAT_VERSION,
         "config": dataclasses.asdict(engine.config),
         "embedding_config": config_key,
         "shards": shard_entries,
     }
+    if arrays_entry is not None:
+        meta["index_arrays"] = arrays_entry
     meta_path.write_text(json.dumps(meta, indent=2), encoding="utf-8")
-    return {"written": written, "skipped": skipped}
+    return {"written": written, "skipped": skipped, "index_arrays": arrays_state}
 
 
 def load_engine_sharded(
     directory: str | Path,
     database: GeneFeatureDatabase | None = None,
+    *,
+    mmap_index: bool = False,
 ) -> IMGRNEngine:
     """Restore an engine from a sharded save.
 
@@ -362,13 +449,23 @@ def load_engine_sharded(
     The resulting engine is bit-identical to a fresh serial build over the
     same database (insertion order is database order either way).
 
+    ``mmap_index=True`` skips the object-tree rebuild entirely and maps
+    the save's array-store snapshot (``index_arrays/``) read-only via
+    ``np.memmap``: loading the index becomes an mmap call, N worker
+    processes share one page-cache copy, and queries return bit-identical
+    answers and counters (see ``tests/test_arraystore.py``). The engine
+    is then read-only (``add_matrix``/``remove_matrix`` raise); it cannot
+    be combined with ``database``.
+
     The reuse/re-embed split is reported on the returned engine as
     ``engine.shard_load_report = {"reused": [...], "reembedded": [...]}``.
 
     Raises
     ------
     ValidationError
-        If the directory is not a sharded engine save.
+        If the directory is not a sharded engine save, or
+        ``mmap_index=True`` with no (or a stale) array snapshot, or with
+        a ``database``.
     """
     target = Path(directory)
     meta_path = target / "meta.json"
@@ -381,6 +478,11 @@ def load_engine_sharded(
             f"{meta.get('format_version')!r}"
         )
     config = _config_from_dict(meta["config"])
+    if mmap_index and database is not None:
+        raise ValidationError(
+            "mmap_index=True restores the saved index verbatim and cannot "
+            "reconcile it against a caller-provided database"
+        )
 
     stored_embeddings: dict[int, EmbeddedMatrix] = {}
     stored_fingerprints: dict[int, str] = {}
@@ -398,7 +500,12 @@ def load_engine_sharded(
 
     if database is None:
         engine = IMGRNEngine(restored, config)
-        _install_index(engine, stored_embeddings)
+        if mmap_index:
+            _install_mmap_index(
+                engine, meta, target, stored_embeddings
+            )
+        else:
+            _install_index(engine, stored_embeddings)
         engine.shard_load_report = {
             "reused": sorted(stored_embeddings),
             "reembedded": [],

@@ -36,6 +36,7 @@ __all__ = [
     "pivot_edge_upper_bound",
     "pivot_pruning_condition",
     "index_pair_prunable",
+    "index_pairs_prunable",
 ]
 
 
@@ -211,6 +212,63 @@ def index_pair_prunable(
     best_gap = float(np.max(gamma * eb_x_min - gamma * ea_x_max))
     threshold = best_gap - gamma * ea_x_max
     return bool(np.any(eb_y_max <= threshold))
+
+
+def index_pairs_prunable(
+    ea_x_max: np.ndarray,
+    eb_x_min: np.ndarray,
+    eb_y_max: np.ndarray,
+    gamma: float,
+) -> np.ndarray:
+    """Vectorized Lemma 6 over all ``(E_a, E_b)`` node pairs at once.
+
+    Evaluates :func:`index_pair_prunable` for the full cross product of
+    ``n_s`` candidate anchors and ``n_t`` candidate neighbors in one
+    broadcast; entry ``[i, j]`` equals the scalar call on row ``i`` of
+    ``ea_x_max`` and row ``j`` of ``eb_x_min``/``eb_y_max``, bit for bit
+    (the per-element operations -- multiply by ``gamma``, subtract, max,
+    compare -- are identical, so the boolean verdicts cannot drift).
+
+    Parameters
+    ----------
+    ea_x_max:
+        ``(n_s, d)`` per-pivot maxima ``E_ax^+`` for each anchor node.
+    eb_x_min:
+        ``(n_t, d)`` per-pivot minima ``E_bx^-`` for each neighbor node.
+    eb_y_max:
+        ``(n_t, d)`` per-pivot maxima ``E_by^+`` for each neighbor node.
+
+    Returns
+    -------
+    np.ndarray
+        ``(n_s, n_t)`` boolean matrix; ``True`` where the pair is
+        prunable.
+    """
+    if not 0.0 <= gamma < 1.0:
+        raise ValidationError(f"gamma must be in [0,1), got {gamma}")
+    ea_x_max = np.asarray(ea_x_max, dtype=np.float64)
+    eb_x_min = np.asarray(eb_x_min, dtype=np.float64)
+    eb_y_max = np.asarray(eb_y_max, dtype=np.float64)
+    if ea_x_max.ndim != 2 or eb_x_min.ndim != 2 or eb_y_max.ndim != 2:
+        raise ValidationError("corner arrays must be 2-D (nodes x pivots)")
+    if (
+        eb_x_min.shape != eb_y_max.shape
+        or ea_x_max.shape[1] != eb_x_min.shape[1]
+    ):
+        raise ValidationError(
+            f"corner shapes incompatible: {ea_x_max.shape}, "
+            f"{eb_x_min.shape}, {eb_y_max.shape}"
+        )
+    n_s = ea_x_max.shape[0]
+    n_t = eb_x_min.shape[0]
+    if gamma == 0.0:
+        # Same convention as the scalar path: gamma == 0 never prunes.
+        return np.zeros((n_s, n_t), dtype=bool)
+    gamma_s = gamma * ea_x_max  # (n_s, d)
+    gamma_t = gamma * eb_x_min  # (n_t, d)
+    best_gap = (gamma_t[None, :, :] - gamma_s[:, None, :]).max(axis=2)
+    threshold = best_gap[:, :, None] - gamma_s[:, None, :]
+    return (eb_y_max[None, :, :] <= threshold).any(axis=2)
 
 
 def combine_edge_bounds(markov: float, pivot: float) -> float:

@@ -39,6 +39,7 @@ from ..errors import (
     ValidationError,
 )
 from ..eval.counters import QueryStats
+from ..index.arraystore import ArrayStore, int_to_words
 from ..index.bitvector import signature, signatures_overlap
 from ..index.invertedfile import SOURCE_SALT, InvertedBitVectorFile
 from ..index.node import Node
@@ -56,6 +57,7 @@ from .pruning import (
     graph_existence_prunable,
     graph_existence_upper_bound,
     index_pair_prunable,
+    index_pairs_prunable,
     markov_edge_upper_bound,
     pivot_edge_upper_bound,
 )
@@ -204,6 +206,11 @@ class IMGRNEngine:
         self.obs = Observability.from_config(self.config.observability)
         self.pages = PageManager()
         self.tree: RStarTree | None = None
+        #: Read-path structure-of-arrays view of the finalized tree (see
+        #: :mod:`repro.index.arraystore`); refreshed by :meth:`_recompact`
+        #: after every index mutation, or installed directly by the
+        #: persistence layer when reloading via ``np.memmap``.
+        self.array_index: ArrayStore | None = None
         self.inverted_file: InvertedBitVectorFile | None = None
         self.build_seconds: float = 0.0
         #: Set by :func:`repro.core.persistence.load_engine_sharded`:
@@ -225,7 +232,20 @@ class IMGRNEngine:
     # ------------------------------------------------------------------
     @property
     def is_built(self) -> bool:
-        return self.tree is not None
+        return self.tree is not None or self.array_index is not None
+
+    def _recompact(self) -> None:
+        """Refresh the array-backed read view after any index mutation.
+
+        A no-op (the view is dropped) when ``config.use_array_index`` is
+        off; otherwise the finalized object tree is compacted into a
+        fresh :class:`~repro.index.arraystore.ArrayStore`, which the
+        traversal then uses instead of pointer chasing.
+        """
+        if self.tree is not None and self.config.use_array_index:
+            self.array_index = ArrayStore.from_tree(self.tree)
+        else:
+            self.array_index = None
 
     def inference_stats(self) -> dict[str, float]:
         """Edge-probability cache counters of the batched inference engine."""
@@ -335,6 +355,7 @@ class IMGRNEngine:
         self.pages.resume()
         self.tree = tree
         self.inverted_file = inverted
+        self._recompact()
         self.build_seconds = time.perf_counter() - started
         metrics.histogram(
             _names.BUILD_SECONDS, help="index build seconds", engine=_ENGINE
@@ -392,13 +413,23 @@ class IMGRNEngine:
                     out[embedded.source_id] = embedded
                 record(result.seconds, worker=0)
             return out
+        import multiprocessing
         from concurrent.futures import ProcessPoolExecutor
 
         stripes = [shards[w::workers] for w in range(workers)]
         payloads = [
             (stripe, config, pivot_strategy) for stripe in stripes if stripe
         ]
-        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+        try:
+            # Fork (where available) skips re-importing the interpreter in
+            # every worker; significant for the small builds the benchmark
+            # floors time, and a no-op on platforms without fork.
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - spawn-only platforms
+            mp_context = None
+        with ProcessPoolExecutor(
+            max_workers=len(payloads), mp_context=mp_context
+        ) as pool:
             for worker, results in enumerate(pool.map(stripe_worker, payloads)):
                 for result in results:
                     # The embed ran in the worker process; the span records
@@ -530,7 +561,9 @@ class IMGRNEngine:
         result carries exactly its own stats.
         """
         gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
-        if self.tree is None or self.inverted_file is None:
+        if self.inverted_file is None or (
+            self.tree is None and self.array_index is None
+        ):
             raise IndexNotBuiltError("call build() before query()")
         _check_thresholds(gamma, alpha)
         local = MetricsRegistry()  # this query's private delta registry
@@ -652,6 +685,11 @@ class IMGRNEngine:
         ValidationError
             If the source ID already exists (via the database).
         """
+        if self.array_index is not None and self.tree is None:
+            raise IndexNotBuiltError(
+                "this engine holds a read-only mmap-loaded array index; "
+                "reload with mmap_index=False (or rebuild) to mutate"
+            )
         if self.tree is None or self.inverted_file is None:
             raise IndexNotBuiltError("call build() before add_matrix()")
         tracer = self.obs.tracer
@@ -680,6 +718,7 @@ class IMGRNEngine:
                 self.inverted_file.add(gene_id, matrix.source_id)
             self.tree.finalize()
             self.pages.resume()
+            self._recompact()
         self.obs.metrics.counter(
             _names.BUILD_MATRICES, help="matrices indexed", engine=_ENGINE
         ).inc()
@@ -703,6 +742,11 @@ class IMGRNEngine:
         UnknownGeneError
             If the source is not indexed.
         """
+        if self.array_index is not None and self.tree is None:
+            raise IndexNotBuiltError(
+                "this engine holds a read-only mmap-loaded array index; "
+                "reload with mmap_index=False (or rebuild) to mutate"
+            )
         if self.tree is None or self.inverted_file is None:
             raise IndexNotBuiltError("call build() before remove_matrix()")
         try:
@@ -726,6 +770,7 @@ class IMGRNEngine:
                     )
             self.inverted_file.remove_source(source_id, entry.matrix.gene_ids)
             self.pages.resume()
+            self._recompact()
 
     def _pick_anchor(self, query_graph: ProbabilisticGraph) -> int:
         """Anchor gene for the traversal (Fig. 4 line 2, or an ablation).
@@ -756,6 +801,10 @@ class IMGRNEngine:
         pages,
         metrics,
     ) -> dict[tuple[int, int], float]:
+        if self.array_index is not None:
+            return self._traverse_arrays(
+                anchor, neighbor_genes, gamma, pages=pages, metrics=metrics
+            )
         assert self.tree is not None and self.inverted_file is not None
         config = self.config
         bits = config.bitvector_bits
@@ -863,6 +912,196 @@ class IMGRNEngine:
                     consider_pair(child_s, child_t, level - 1)
         return candidates
 
+    def _traverse_arrays(
+        self,
+        anchor: int,
+        neighbor_genes: list[int],
+        gamma: float,
+        *,
+        pages,
+        metrics,
+    ) -> dict[tuple[int, int], float]:
+        """Fig. 4 traversal over the array-backed index view.
+
+        Semantically a transliteration of :meth:`_traverse` from node
+        objects to array rows, with the per-child filter loop replaced by
+        whole-node NumPy calls: for each popped pair, the gene-range,
+        bit-vector and Lemma-6 checks run over the full ``n_s x n_t``
+        child cross product at once and only survivors are pushed. Every
+        per-element operation matches the scalar path exactly, survivor
+        pairs are enumerated in the same s-outer/t-inner order (row-major
+        ``argwhere``), and the shared tie counter is only advanced for
+        pushed pairs -- so heap pop order, page accesses and every pruning
+        counter are bit-identical to the object-tree traversal.
+        """
+        store = self.array_index
+        assert store is not None and self.inverted_file is not None
+        config = self.config
+        bits = config.bitvector_bits
+        d = config.num_pivots
+        pruned_help = "pairs discarded by pruning"
+
+        def pruned(stage: str):
+            return metrics.counter(
+                _names.QUERY_PRUNED, help=pruned_help, engine=_ENGINE, stage=stage
+            )
+
+        pruned_gene_range = pruned("gene_range")
+        pruned_gene_sig = pruned("bitvector_gene")
+        pruned_source_sig = pruned("bitvector_source")
+        pruned_lemma6 = pruned("lemma6")
+        pruned_leaf = pruned("leaf_edge_bound")
+
+        qvf_anchor = signature(anchor, bits)
+        qvf_neighbors = 0
+        qvd_anchor = self.inverted_file.sources_signature(anchor)
+        qvd_neighbors = 0
+        neighbor_set = set(neighbor_genes)
+        for gene in neighbor_genes:
+            qvf_neighbors |= signature(gene, bits)
+            qvd_neighbors |= self.inverted_file.sources_signature(gene)
+        if qvd_anchor == 0 or qvd_neighbors == 0:
+            return {}
+
+        words = store.sig_words
+        qa_vf = int_to_words(qvf_anchor, words)
+        qn_vf = int_to_words(qvf_neighbors, words)
+        q_both_vd = int_to_words(qvd_anchor & qvd_neighbors, words)
+        neighbor_arr = np.asarray(neighbor_genes, dtype=np.float64)
+        n_neighbors = neighbor_arr.shape[0]
+
+        lows = store.node_lows
+        highs = store.node_highs
+        levels = store.node_levels
+        child_start = store.node_child_start
+        child_count = store.node_child_count
+        page_ids = store.node_page_ids
+        vf_words = store.node_vf_words
+        vd_words = store.node_vd_words
+        gene_dim = 2 * d
+
+        candidates: dict[tuple[int, int], float] = {}
+        queue: list[tuple[int, int, int, int]] = []
+        tie = itertools.count()
+
+        def consider_children(s_node: int, t_node: int, level: int) -> None:
+            """Batch filter of the s-children x t-children cross product."""
+            s0 = int(child_start[s_node])
+            s1 = s0 + int(child_count[s_node])
+            t0 = int(child_start[t_node])
+            t1 = t0 + int(child_count[t_node])
+            # Gene-range filter (exact, on the gene-ID coordinate).
+            s_ok = (lows[s0:s1, gene_dim] <= anchor) & (
+                anchor <= highs[s0:s1, gene_dim]
+            )
+            idx = np.searchsorted(neighbor_arr, lows[t0:t1, gene_dim], side="left")
+            t_ok = (idx < n_neighbors) & (
+                neighbor_arr[np.minimum(idx, n_neighbors - 1)]
+                <= highs[t0:t1, gene_dim]
+            )
+            alive = s_ok[:, None] & t_ok[None, :]
+            pruned_gene_range.inc(int(alive.size - alive.sum()))
+            if not alive.any():
+                return
+            # Gene-signature filter (anchor vs V_f of s, neighbors vs t).
+            s_sig = (vf_words[s0:s1] & qa_vf[None, :]).any(axis=1)
+            t_sig = (vf_words[t0:t1] & qn_vf[None, :]).any(axis=1)
+            sig_ok = s_sig[:, None] & t_sig[None, :]
+            pruned_gene_sig.inc(int((alive & ~sig_ok).sum()))
+            alive &= sig_ok
+            if not alive.any():
+                return
+            # Source-signature filter: the four-way AND must be non-zero.
+            s_vd = vd_words[s0:s1] & q_both_vd[None, :]
+            src_ok = (s_vd[:, None, :] & vd_words[t0:t1][None, :, :]).any(axis=2)
+            pruned_source_sig.inc(int((alive & ~src_ok).sum()))
+            alive &= src_ok
+            if not alive.any():
+                return
+            # Lemma-6 index pruning over all surviving pairs at once.
+            prunable = index_pairs_prunable(
+                highs[s0:s1, 0 : 2 * d : 2],
+                lows[t0:t1, 0 : 2 * d : 2],
+                highs[t0:t1, 1 : 2 * d : 2],
+                gamma,
+            )
+            pruned_lemma6.inc(int((alive & prunable).sum()))
+            alive &= ~prunable
+            for i, j in np.argwhere(alive):
+                heapq.heappush(
+                    queue, (level, next(tie), s0 + int(i), t0 + int(j))
+                )
+
+        pages.access(int(page_ids[0]))
+        root_level = int(levels[0])
+        if root_level == 0:
+            self._scan_leaf_pair_arrays(
+                store, 0, 0, anchor, neighbor_set, gamma, candidates, pruned_leaf
+            )
+            return candidates
+        consider_children(0, 0, root_level - 1)
+
+        while queue:
+            level, _tie, s_node, t_node = heapq.heappop(queue)
+            pages.access(int(page_ids[s_node]))
+            if t_node != s_node:
+                pages.access(int(page_ids[t_node]))
+            if level == 0:
+                self._scan_leaf_pair_arrays(
+                    store,
+                    s_node,
+                    t_node,
+                    anchor,
+                    neighbor_set,
+                    gamma,
+                    candidates,
+                    pruned_leaf,
+                )
+                continue
+            consider_children(s_node, t_node, level - 1)
+        return candidates
+
+    def _scan_leaf_pair_arrays(
+        self,
+        store: ArrayStore,
+        leaf_s: int,
+        leaf_t: int,
+        anchor: int,
+        neighbor_set: set[int],
+        gamma: float,
+        candidates: dict[tuple[int, int], float],
+        pruned_leaf,
+    ) -> None:
+        """Array-row mirror of :meth:`_scan_leaf_pair` (same scan order)."""
+        gene_ids = store.entry_gene_ids
+        source_ids = store.entry_source_ids
+        points = store.entry_points
+        s0 = int(store.node_child_start[leaf_s])
+        s1 = s0 + int(store.node_child_count[leaf_s])
+        anchor_rows = s0 + np.nonzero(gene_ids[s0:s1] == anchor)[0]
+        if anchor_rows.size == 0:
+            return
+        t0 = int(store.node_child_start[leaf_t])
+        t1 = t0 + int(store.node_child_count[leaf_t])
+        for row_t in range(t0, t1):
+            gene_t = int(gene_ids[row_t])
+            if gene_t not in neighbor_set:
+                continue
+            source_t = int(source_ids[row_t])
+            for row_s in anchor_rows:
+                if int(source_ids[row_s]) != source_t:
+                    continue
+                key = (source_t, gene_t)
+                bound = self._leaf_pair_bound(
+                    source_t, anchor, gene_t, points[row_s], points[row_t]
+                )
+                if edge_inference_prunable(bound, gamma):
+                    pruned_leaf.inc()
+                    continue
+                previous = candidates.get(key)
+                if previous is None or bound < previous:
+                    candidates[key] = bound
+
     def _scan_leaf_pair(
         self,
         leaf_s: Node,
@@ -884,7 +1123,13 @@ class IMGRNEngine:
                 if entry_s.source_id != entry_t.source_id:
                     continue
                 key = (entry_t.source_id, entry_t.gene_id)
-                bound = self._leaf_pair_bound(entry_s, entry_t)
+                bound = self._leaf_pair_bound(
+                    entry_s.source_id,
+                    entry_s.gene_id,
+                    entry_t.gene_id,
+                    entry_s.point,
+                    entry_t.point,
+                )
                 if edge_inference_prunable(bound, gamma):
                     pruned_leaf.inc()
                     continue
@@ -892,21 +1137,30 @@ class IMGRNEngine:
                 if previous is None or bound < previous:
                     candidates[key] = bound
 
-    def _leaf_pair_bound(self, entry_s, entry_t) -> float:
+    def _leaf_pair_bound(
+        self,
+        source_id: int,
+        gene_s: int,
+        gene_t: int,
+        point_s: np.ndarray,
+        point_t: np.ndarray,
+    ) -> float:
         """Tightest sound upper bound for one candidate gene pair.
 
         Combines the pivot bound (embedded coordinates only, Section 4.2)
         with the Markov bound on the true distance (Lemma 4); both are
-        sound, so their minimum is.
+        sound, so their minimum is. Takes raw values (not
+        :class:`LeafEntry` objects) so the object-tree and array-store
+        leaf scans share it.
         """
         d = self.config.num_pivots
-        xs = entry_s.point[0 : 2 * d : 2]
-        xt = entry_t.point[0 : 2 * d : 2]
-        yt = entry_t.point[1 : 2 * d : 2]
+        xs = point_s[0 : 2 * d : 2]
+        xt = point_t[0 : 2 * d : 2]
+        yt = point_t[1 : 2 * d : 2]
         bound = pivot_edge_upper_bound(xs, xt, yt)
-        matrix_entry = self._entries[entry_s.source_id]
-        col_s = matrix_entry.matrix.column_index(entry_s.gene_id)
-        col_t = matrix_entry.matrix.column_index(entry_t.gene_id)
+        matrix_entry = self._entries[source_id]
+        col_s = matrix_entry.matrix.column_index(gene_s)
+        col_t = matrix_entry.matrix.column_index(gene_t)
         std = matrix_entry.standardized
         distance = float(np.linalg.norm(std[:, col_s] - std[:, col_t]))
         expected = expected_randomized_distance_jensen(std[:, col_t], std[:, col_s])

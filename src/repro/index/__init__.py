@@ -1,5 +1,6 @@
 """Index substrate: MBRs, R*-tree, bit-vector signatures, inverted file."""
 
+from .arraystore import ArrayStore
 from .bitvector import hash_bit, signature, signature_many, signatures_overlap
 from .invertedfile import InvertedBitVectorFile
 from .mbr import MBR
@@ -9,6 +10,7 @@ from .rstartree import RStarTree
 
 __all__ = [
     "MBR",
+    "ArrayStore",
     "LeafEntry",
     "Node",
     "PageCounter",

@@ -32,8 +32,12 @@ class MBR:
             raise DimensionMismatchError(
                 f"corner shapes differ: {low.shape} vs {high.shape}"
             )
-        if np.any(low > high):
-            raise ValidationError("MBR low corner exceeds high corner")
+        # `not all(low <= high)` (rather than `any(low > high)`) so NaN
+        # corners -- which fail every comparison -- are rejected too.
+        if not np.all(low <= high):
+            raise ValidationError(
+                "MBR low corner exceeds high corner (or corners contain NaN)"
+            )
         self.low = low
         self.high = high
 
@@ -77,8 +81,29 @@ class MBR:
         return MBR(self.low.copy(), self.high.copy())
 
     def area(self) -> float:
-        """Hyper-volume (product of extents)."""
+        """Hyper-volume (product of extents).
+
+        A raw product of ``2d+1`` extents underflows to ``0.0`` for
+        high-dimensional or near-degenerate boxes, which collapses any
+        area-based comparison into an arbitrary tie. Comparison-driven
+        callers (the R* insertion/split heuristics) therefore rank boxes
+        with :meth:`log_area` or with extents normalized by a common
+        scale, and break the remaining ties on :meth:`margin`.
+        """
         return float(np.prod(self.high - self.low))
+
+    def log_area(self) -> float:
+        """Sum of ``log`` extents -- an underflow-proof area *rank*.
+
+        Monotone in :meth:`area` whenever both are finite, but stays
+        discriminating where the raw product would underflow to ``0.0``.
+        Convention for degenerate boxes: any zero-extent axis makes the
+        whole rank ``-inf`` (``log 0``), matching ``area() == 0.0``;
+        degenerate boxes then tie and callers fall back to the margin.
+        """
+        extents = self.high - self.low
+        with np.errstate(divide="ignore"):
+            return float(np.sum(np.log(extents)))
 
     def margin(self) -> float:
         """Sum of extents (the R*-split axis criterion)."""

@@ -78,6 +78,17 @@ class PageManager:
         """Total pages allocated (== number of tree nodes)."""
         return self._next_page
 
+    def reserve(self, count: int) -> None:
+        """Mark page IDs ``0..count-1`` as allocated.
+
+        Used when an index is restored from an array-store snapshot: the
+        snapshot carries the original page IDs, so the fresh manager must
+        accept accesses against them without re-running allocation.
+        """
+        if count < 0:
+            raise ValidationError(f"count must be >= 0, got {count}")
+        self._next_page = max(self._next_page, count)
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from ..errors import InternalError, ValidationError
+from .arraystore import min_dist_many
 from .bitvector import signature
 from .invertedfile import SOURCE_SALT
 from .mbr import MBR
@@ -90,7 +91,10 @@ class RStarTree:
         Raises
         ------
         ValidationError
-            If the point dimensionality is wrong or the tree was finalized.
+            If the point dimensionality is wrong, the point contains
+            NaN/inf (a NaN coordinate fails every ``low <= point``
+            comparison and would silently vanish from every search), or
+            the tree was finalized.
         """
         if self._finalized:
             raise ValidationError("cannot insert into a finalized tree")
@@ -98,6 +102,10 @@ class RStarTree:
         if point.shape != (self.dim,):
             raise ValidationError(
                 f"point shape {point.shape} does not match dim {self.dim}"
+            )
+        if not np.all(np.isfinite(point)):
+            raise ValidationError(
+                f"point contains NaN/inf coordinates: {point.tolist()}"
             )
         entry = LeafEntry(point, gene_id, source_id, payload)
         self._reinserted_levels = set()
@@ -138,6 +146,11 @@ class RStarTree:
                 raise ValidationError(
                     f"point shape {entry.point.shape} does not match dim "
                     f"{self.dim}"
+                )
+            if not np.all(np.isfinite(entry.point)):
+                raise ValidationError(
+                    "bulk_load entry contains NaN/inf coordinates: "
+                    f"{entry.point.tolist()}"
                 )
         if axis_order is None:
             axis_order = list(range(self.dim))
@@ -346,7 +359,14 @@ class RStarTree:
         node.recompute_mbr()
 
     def search(self, box: MBR) -> list[LeafEntry]:
-        """All leaf entries whose point lies inside ``box`` (test oracle)."""
+        """All leaf entries whose point lies inside ``box`` (test oracle).
+
+        An empty tree (``root.mbr is None``) returns ``[]`` without
+        charging any page access; finalization is not required (the
+        search uses geometry only, never signatures). The per-node
+        child/entry tests run as one whole-node NumPy comparison instead
+        of a Python loop over children.
+        """
         results: list[LeafEntry] = []
         if self.root.mbr is None:
             return results
@@ -354,14 +374,22 @@ class RStarTree:
         while stack:
             node = stack.pop()
             self.pages.access(node.page_id)
+            if not node.entries:
+                continue
             if node.is_leaf:
+                points = np.stack([entry.point for entry in node.entries])
+                inside = np.all(points >= box.low, axis=1) & np.all(
+                    points <= box.high, axis=1
+                )
                 results.extend(
-                    entry for entry in node.entries if box.contains_point(entry.point)
+                    node.entries[int(i)] for i in np.nonzero(inside)[0]
                 )
             else:
-                stack.extend(
-                    child for child in node.entries if box.intersects(child.mbr)
+                lows, highs = self._child_corners(node.entries)
+                hits = np.all(lows <= box.high, axis=1) & np.all(
+                    box.low <= highs, axis=1
                 )
+                stack.extend(node.entries[int(i)] for i in np.nonzero(hits)[0])
         return results
 
     def nearest(self, point: np.ndarray, k: int = 1) -> list[tuple[float, LeafEntry]]:
@@ -379,6 +407,10 @@ class RStarTree:
         if point.shape != (self.dim,):
             raise ValidationError(
                 f"point shape {point.shape} does not match dim {self.dim}"
+            )
+        if not np.all(np.isfinite(point)):
+            raise ValidationError(
+                f"query point contains NaN/inf coordinates: {point.tolist()}"
             )
         if self.root.mbr is None:
             return []
@@ -408,11 +440,13 @@ class RStarTree:
                         heap, (float(np.sqrt(delta @ delta)), next(tie), entry)
                     )
             else:
-                for child in node.entries:
-                    heapq.heappush(
-                        heap,
-                        (self._min_dist(child.mbr, point), next(tie), child),
-                    )
+                # One vectorized MinDist call over all children; per-row
+                # it performs the exact scalar ``_min_dist`` operations,
+                # so heap ordering (and page accounting) is unchanged.
+                lows, highs = self._child_corners(node.entries)
+                dists = min_dist_many(lows, highs, point)
+                for child, child_dist in zip(node.entries, dists):
+                    heapq.heappush(heap, (float(child_dist), next(tie), child))
         return results
 
     @staticmethod
@@ -475,13 +509,26 @@ class RStarTree:
 
     @classmethod
     def _least_enlargement_child(cls, children: list[Node], box: MBR) -> Node:
+        """R* internal-level heuristic: minimize area enlargement.
+
+        Extents are normalized by a shared per-axis scale before the
+        ``2d+1``-way product: a raw product underflows to ``0.0`` for
+        high-dim/degenerate boxes and collapses the ranking into
+        arbitrary ties. Dividing every box by the same positive scale
+        multiplies all areas (and enlargement differences) by one common
+        constant, so the ordering is preserved while staying in a
+        representable range. Remaining exact ties break on margin.
+        """
         lows, highs = cls._child_corners(children)
-        areas = np.prod(highs - lows, axis=1)
-        grown_areas = np.prod(
-            np.maximum(highs, box.high) - np.minimum(lows, box.low), axis=1
-        )
+        extents = highs - lows
+        grown_extents = np.maximum(highs, box.high) - np.minimum(lows, box.low)
+        scale = grown_extents.max(axis=0)
+        scale[scale == 0.0] = 1.0
+        areas = np.prod(extents / scale, axis=1)
+        grown_areas = np.prod(grown_extents / scale, axis=1)
         enlargement = grown_areas - areas
-        order = np.lexsort((areas, enlargement))
+        margins = extents.sum(axis=1)
+        order = np.lexsort((margins, areas, enlargement))
         return children[int(order[0])]
 
     @classmethod
@@ -490,25 +537,32 @@ class RStarTree:
 
         Vectorized: the F x F pairwise overlap matrices (before and after
         growing each child by ``box``) are computed with one broadcast.
+        All extents are normalized by a shared per-axis scale first --
+        see :meth:`_least_enlargement_child` for why (raw ``2d+1``-way
+        products underflow to ``0.0``); ties break on margin.
         """
         lows, highs = cls._child_corners(children)
         grown_lows = np.minimum(lows, box.low)
         grown_highs = np.maximum(highs, box.high)
+        scale = (grown_highs - grown_lows).max(axis=0)
+        scale[scale == 0.0] = 1.0
 
         def pairwise_overlap(a_lows, a_highs):
             inter_low = np.maximum(a_lows[:, None, :], lows[None, :, :])
             inter_high = np.minimum(a_highs[:, None, :], highs[None, :, :])
             extents = np.clip(inter_high - inter_low, 0.0, None)
-            return np.prod(extents, axis=2)
+            return np.prod(extents / scale, axis=2)
 
         before = pairwise_overlap(lows, highs)
         after = pairwise_overlap(grown_lows, grown_highs)
         np.fill_diagonal(before, 0.0)
         np.fill_diagonal(after, 0.0)
         overlap_delta = after.sum(axis=1) - before.sum(axis=1)
-        areas = np.prod(highs - lows, axis=1)
-        enlargement = np.prod(grown_highs - grown_lows, axis=1) - areas
-        order = np.lexsort((areas, enlargement, overlap_delta))
+        extents = highs - lows
+        areas = np.prod(extents / scale, axis=1)
+        enlargement = np.prod((grown_highs - grown_lows) / scale, axis=1) - areas
+        margins = extents.sum(axis=1)
+        order = np.lexsort((margins, areas, enlargement, overlap_delta))
         return children[int(order[0])]
 
     def _insert_at_level(self, entry, level: int) -> None:
@@ -594,7 +648,7 @@ class RStarTree:
 
     def _choose_split(self, entries: list) -> tuple[list, list]:
         """Choose split axis by minimum margin sum, then the distribution
-        with minimum overlap (ties: minimum total area).
+        with minimum overlap (ties: minimum total area, then margin).
 
         Vectorized with prefix/suffix corner sweeps: for a sorted order,
         the MBR of every prefix (and suffix) group comes from running
@@ -605,6 +659,11 @@ class RStarTree:
         total = len(entries)
         lows = np.stack([e.mbr.low for e in entries])
         highs = np.stack([e.mbr.high for e in entries])
+        # Shared per-axis scale: keeps the 2d+1-way area/overlap products
+        # out of underflow (see _least_enlargement_child) while preserving
+        # the ordering every comparison below depends on.
+        scale = highs.max(axis=0) - lows.min(axis=0)
+        scale[scale == 0.0] = 1.0
 
         def distributions(order: np.ndarray):
             """Margins/overlaps/areas of every legal split of one order."""
@@ -627,9 +686,9 @@ class RStarTree:
                 0.0,
                 None,
             )
-            overlaps = np.prod(inter, axis=1)
-            areas = np.prod(left_high - left_low, axis=1) + np.prod(
-                right_high - right_low, axis=1
+            overlaps = np.prod(inter / scale, axis=1)
+            areas = np.prod((left_high - left_low) / scale, axis=1) + np.prod(
+                (right_high - right_low) / scale, axis=1
             )
             return splits, margins, overlaps, areas
 
@@ -649,9 +708,9 @@ class RStarTree:
         best_key = None
         best_split: tuple[np.ndarray, int] | None = None
         for order in orders_by_axis[best_axis]:
-            splits, _margins, overlaps, areas = distributions(order)
-            idx = int(np.lexsort((areas, overlaps))[0])
-            key = (float(overlaps[idx]), float(areas[idx]))
+            splits, margins, overlaps, areas = distributions(order)
+            idx = int(np.lexsort((margins, areas, overlaps))[0])
+            key = (float(overlaps[idx]), float(areas[idx]), float(margins[idx]))
             if best_key is None or key < best_key:
                 best_key = key
                 best_split = (order, int(splits[idx]))

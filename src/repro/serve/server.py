@@ -369,10 +369,25 @@ class QueryServer:
             queries=len(specs),
             workers=self.config.max_workers,
         ) as batch_span:
-            submitted: list[tuple[Future, float]] = [
-                (self._pool.submit(self._execute, index, spec), time.perf_counter())
-                for index, spec in enumerate(specs)
-            ]
+            submitted: list[tuple[Future, float]] = []
+            for index, spec in enumerate(specs):
+                submit_time = time.perf_counter()
+                # The worker receives the absolute deadline so its retry
+                # backoff can be capped at the remaining budget (a sleep
+                # past the deadline would otherwise keep the worker thread
+                # zombie-busy after the coordinator already reported the
+                # timeout, stalling close()).
+                deadline_at = (
+                    None if deadline is None else submit_time + deadline
+                )
+                submitted.append(
+                    (
+                        self._pool.submit(
+                            self._execute, index, spec, deadline_at
+                        ),
+                        submit_time,
+                    )
+                )
             completed = 0
             for index, (future, submit_time) in enumerate(submitted):
                 spec = specs[index]
@@ -406,8 +421,20 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Worker side
     # ------------------------------------------------------------------
-    def _execute(self, index: int, spec: QuerySpec) -> QueryOutcome:
-        """Run one query on a worker thread: cache, retry, degrade."""
+    def _execute(
+        self,
+        index: int,
+        spec: QuerySpec,
+        deadline_at: float | None = None,
+    ) -> QueryOutcome:
+        """Run one query on a worker thread: cache, retry, degrade.
+
+        ``deadline_at`` is the absolute ``time.perf_counter()`` instant
+        at which this query's per-query budget expires; each retry
+        backoff sleep is capped at the remaining budget, and a retry
+        whose budget is already spent returns a ``timeout`` outcome
+        instead of sleeping at all.
+        """
         tracer = self.obs.tracer
         started = time.perf_counter()
         key = spec.cache_key() if self.cache is not None else None
@@ -452,6 +479,21 @@ class QueryServer:
                 pause = config.backoff_seconds * (
                     config.backoff_multiplier ** (attempts - 1)
                 )
+                if deadline_at is not None:
+                    remaining = deadline_at - time.perf_counter()
+                    if remaining <= 0.0:
+                        return QueryOutcome(
+                            index=index,
+                            spec=spec,
+                            status="timeout",
+                            error=(
+                                "deadline expired during retry backoff: "
+                                f"{exc}"
+                            ),
+                            attempts=attempts,
+                            seconds=time.perf_counter() - started,
+                        )
+                    pause = min(pause, remaining)
                 with tracer.span(
                     "serve.retry",
                     engine=self.engine_label,

@@ -1,0 +1,387 @@
+"""Zero-copy array store: compaction, persistence, read-path equivalence.
+
+The contract under test: the array-backed view of a finalized R*-tree --
+in memory, saved to disk, or reloaded via ``np.memmap`` -- answers every
+read path (range search, kNN, the full IM-GRN traversal) bit-identically
+to the object tree: same answers, same probabilities, same page-access
+counts, same per-stage pruning counters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    BuildConfig,
+    EngineConfig,
+    ObservabilityConfig,
+    SyntheticConfig,
+)
+from repro.core.persistence import load_engine_sharded, save_engine_sharded
+from repro.core.query import IMGRNEngine
+from repro.data.queries import generate_query_workload
+from repro.data.synthetic import generate_database
+from repro.errors import IndexNotBuiltError, ValidationError
+from repro.index.arraystore import (
+    ArrayStore,
+    int_to_words,
+    min_dist_many,
+    signature_words,
+    words_to_int,
+)
+from repro.index.mbr import MBR
+from repro.index.pagemanager import PageManager
+from repro.index.rstartree import RStarTree
+
+SEED = 11
+
+
+def _config(use_array_index: bool = True) -> EngineConfig:
+    return EngineConfig(
+        seed=SEED,
+        use_array_index=use_array_index,
+        build=BuildConfig(workers=0, shard_size=3),
+        observability=ObservabilityConfig(shared_registry=False),
+    )
+
+
+def _answers(engine, queries) -> list[tuple]:
+    out = []
+    for query in queries:
+        result = engine.query(query, gamma=0.4, alpha=0.4)
+        out.append(
+            (
+                tuple(
+                    (answer.source_id, answer.probability)
+                    for answer in sorted(
+                        result.answers, key=lambda a: a.source_id
+                    )
+                ),
+                # Wall-clock metrics legitimately differ; every counter
+                # (io, candidates, all pruning stages) must not.
+                tuple(
+                    sorted(
+                        (key, value)
+                        for key, value in result.metrics.items()
+                        if "seconds" not in key
+                    )
+                ),
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_database(
+        SyntheticConfig(genes_range=(10, 20), seed=SEED), 9
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(database):
+    return generate_query_workload(database, n_q=3, count=3, rng=SEED)
+
+
+@pytest.fixture(scope="module")
+def object_engine(database):
+    engine = IMGRNEngine(database, _config(use_array_index=False))
+    engine.build()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def array_engine(database):
+    engine = IMGRNEngine(database, _config(use_array_index=True))
+    engine.build()
+    return engine
+
+
+@pytest.fixture()
+def tree(rng):
+    tree = RStarTree(dim=3, max_entries=4, pages=PageManager())
+    points = rng.uniform(0.0, 10.0, size=(120, 3))
+    for i, point in enumerate(points):
+        tree.insert(point, gene_id=i % 17, source_id=i % 5, payload=i)
+    tree.finalize()
+    return tree
+
+
+class TestSignatureWords:
+    def test_round_trip(self):
+        for value in (0, 1, 2**63, 2**64 - 1, 2**64, (1 << 1024) - 1):
+            words = int_to_words(value, 17)
+            assert words_to_int(words) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            int_to_words(-1, 2)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValidationError):
+            int_to_words(1 << 128, 2)
+
+    def test_word_count(self):
+        assert signature_words(1) == 1
+        assert signature_words(64) == 1
+        assert signature_words(65) == 2
+        assert signature_words(1024) == 16
+
+    def test_wordwise_and_equals_int_and(self, rng):
+        # The vectorized signature filter: word-wise AND any() must be
+        # exactly the scalar (a & b) != 0 test.
+        for _ in range(50):
+            a = int(rng.integers(0, 1 << 63)) | (
+                int(rng.integers(0, 1 << 63)) << 70
+            )
+            b = int(rng.integers(0, 1 << 63)) | (
+                int(rng.integers(0, 1 << 63)) << 70
+            )
+            wa, wb = int_to_words(a, 3), int_to_words(b, 3)
+            assert bool((wa & wb).any()) == ((a & b) != 0)
+
+
+class TestFromTree:
+    def test_unfinalized_rejected(self):
+        tree = RStarTree(dim=2)
+        tree.insert(np.zeros(2), 0, 0, 0)
+        with pytest.raises(ValidationError):
+            ArrayStore.from_tree(tree)
+
+    def test_compaction_mirrors_tree(self, tree):
+        store = ArrayStore.from_tree(tree)
+        assert store.num_entries == len(tree) == 120
+        assert store.height == tree.height
+        assert store.node_levels[0] == tree.root.level
+
+        # Walk the BFS layout and re-derive every node from the tree.
+        nodes = [tree.root]
+        for node in nodes:
+            if not node.is_leaf:
+                nodes.extend(node.entries)
+        assert store.num_nodes == len(nodes)
+        for index, node in enumerate(nodes):
+            assert store.node_levels[index] == node.level
+            assert store.node_page_ids[index] == node.page_id
+            assert store.node_vf(index) == node.vf
+            assert store.node_vd(index) == node.vd
+            assert store.node_lows[index].tobytes() == node.mbr.low.tobytes()
+            assert store.node_highs[index].tobytes() == node.mbr.high.tobytes()
+
+        # Every leaf entry row is recoverable, in tree order.
+        rows = sorted(int(p) for p in store.entry_payloads)
+        assert rows == list(range(120))
+
+    def test_children_contiguous(self, tree):
+        store = ArrayStore.from_tree(tree)
+        seen = np.zeros(store.num_nodes, dtype=bool)
+        seen[0] = True
+        for index in range(store.num_nodes):
+            if store.node_levels[index] == 0:
+                continue
+            start = int(store.node_child_start[index])
+            stop = start + int(store.node_child_count[index])
+            assert not seen[start:stop].any()  # each child claimed once
+            seen[start:stop] = True
+            # Parents strictly precede children (BFS order).
+            assert start > index
+        assert seen.all()
+
+
+class TestSearchEquivalence:
+    def test_search_matches_tree_and_counts_pages(self, tree, rng):
+        store = ArrayStore.from_tree(tree)
+        for _ in range(15):
+            low = rng.uniform(0.0, 8.0, size=3)
+            high = low + rng.uniform(0.5, 5.0, size=3)
+
+            tree.pages.reset()
+            expected = sorted(e.payload for e in tree.search(MBR(low, high)))
+            tree_accesses = tree.pages.accesses
+
+            tree.pages.reset()
+            rows = store.search(low, high, pages=tree.pages)
+            found = sorted(int(store.entry_payloads[r]) for r in rows)
+            assert found == expected
+            assert tree.pages.accesses == tree_accesses
+
+    def test_nearest_matches_tree_and_counts_pages(self, tree, rng):
+        store = ArrayStore.from_tree(tree)
+        for k in (1, 3, 10):
+            point = rng.uniform(0.0, 10.0, size=3)
+
+            tree.pages.reset()
+            expected = [
+                (dist, entry.payload) for dist, entry in tree.nearest(point, k)
+            ]
+            tree_accesses = tree.pages.accesses
+
+            tree.pages.reset()
+            got = [
+                (dist, int(store.entry_payloads[row]))
+                for dist, row in store.nearest(point, k, pages=tree.pages)
+            ]
+            assert got == expected  # distances bit-identical, same order
+            assert tree.pages.accesses == tree_accesses
+
+    def test_empty_store(self):
+        tree = RStarTree(dim=2)
+        tree.finalize()
+        store = ArrayStore.from_tree(tree)
+        assert store.search(np.zeros(2), np.ones(2)) == []
+        assert store.nearest(np.zeros(2), k=2) == []
+
+    def test_nearest_validates_inputs(self, tree):
+        store = ArrayStore.from_tree(tree)
+        with pytest.raises(ValidationError):
+            store.nearest(np.zeros(3), k=0)
+        with pytest.raises(ValidationError):
+            store.nearest(np.zeros(4))
+
+    def test_min_dist_many_matches_scalar_shape(self, rng):
+        lows = rng.uniform(0.0, 5.0, size=(20, 4))
+        highs = lows + rng.uniform(0.0, 3.0, size=(20, 4))
+        point = rng.uniform(-1.0, 7.0, size=4)
+        dists = min_dist_many(lows, highs, point)
+        assert dists.shape == (20,)
+        inside = np.all(lows <= point, axis=1) & np.all(point <= highs, axis=1)
+        assert np.all(dists[inside] == 0.0)
+        assert np.all(dists >= 0.0)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tree, tmp_path):
+        store = ArrayStore.from_tree(tree)
+        header = store.save(tmp_path / "arrays")
+        assert header["format_version"] == 1
+        assert header["fingerprint"] == store.fingerprint()
+
+        for mmap in (True, False):
+            loaded = ArrayStore.load(tmp_path / "arrays", mmap=mmap)
+            assert loaded.fingerprint() == store.fingerprint()
+            assert loaded.num_nodes == store.num_nodes
+            assert loaded.num_entries == store.num_entries
+
+    def test_mmap_load_is_read_only_view(self, tree, tmp_path):
+        store = ArrayStore.from_tree(tree)
+        store.save(tmp_path / "arrays")
+        loaded = ArrayStore.load(tmp_path / "arrays", mmap=True)
+        assert isinstance(loaded.entry_points, np.memmap)
+        with pytest.raises((ValueError, OSError)):
+            loaded.entry_points[0, 0] = 99.0
+
+    def test_missing_header_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ArrayStore.load(tmp_path)
+
+    def test_version_mismatch_rejected(self, tree, tmp_path):
+        store = ArrayStore.from_tree(tree)
+        store.save(tmp_path / "arrays")
+        header_path = tmp_path / "arrays" / "header.json"
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+        header["format_version"] = 99
+        header_path.write_text(json.dumps(header), encoding="utf-8")
+        with pytest.raises(ValidationError):
+            ArrayStore.load(tmp_path / "arrays")
+
+    def test_shape_mismatch_rejected(self, tree, tmp_path):
+        store = ArrayStore.from_tree(tree)
+        store.save(tmp_path / "arrays")
+        np.save(
+            tmp_path / "arrays" / "entry_gene_ids.npy",
+            np.zeros(3, dtype="<i8"),
+        )
+        with pytest.raises(ValidationError):
+            ArrayStore.load(tmp_path / "arrays")
+
+    def test_fingerprint_tracks_content(self, tree):
+        store = ArrayStore.from_tree(tree)
+        before = store.fingerprint()
+        store.entry_payloads[0] += 1
+        assert store.fingerprint() != before
+        store.entry_payloads[0] -= 1
+        assert store.fingerprint() == before
+
+
+class TestEngineEquivalence:
+    """Object tree vs in-memory arrays vs mmap reload: one answer set."""
+
+    def test_array_engine_holds_both_views(self, array_engine, object_engine):
+        assert array_engine.array_index is not None
+        assert array_engine.tree is not None
+        assert object_engine.array_index is None
+
+    def test_array_path_bit_identical(self, object_engine, array_engine, queries):
+        assert _answers(object_engine, queries) == _answers(array_engine, queries)
+
+    def test_mmap_reload_bit_identical(self, array_engine, queries, tmp_path):
+        report = save_engine_sharded(array_engine, tmp_path / "engine")
+        assert report["index_arrays"] == "written"
+
+        mapped = load_engine_sharded(tmp_path / "engine", mmap_index=True)
+        assert mapped.tree is None
+        assert mapped.array_index is not None
+        assert isinstance(mapped.array_index.entry_points, np.memmap)
+        assert _answers(mapped, queries) == _answers(array_engine, queries)
+
+    def test_mmap_engine_is_read_only(self, array_engine, database, tmp_path):
+        save_engine_sharded(array_engine, tmp_path / "engine")
+        mapped = load_engine_sharded(tmp_path / "engine", mmap_index=True)
+        matrix = next(iter(database))
+        with pytest.raises(IndexNotBuiltError):
+            mapped.add_matrix(matrix)
+        with pytest.raises(IndexNotBuiltError):
+            mapped.remove_matrix(matrix.source_id)
+
+    def test_resave_skips_unchanged_arrays(self, array_engine, tmp_path):
+        save_engine_sharded(array_engine, tmp_path / "engine")
+        report = save_engine_sharded(array_engine, tmp_path / "engine")
+        assert report["index_arrays"] == "skipped"
+
+    def test_fingerprint_verified_on_load(self, array_engine, tmp_path):
+        save_engine_sharded(array_engine, tmp_path / "engine")
+        arrays_dir = tmp_path / "engine" / "index_arrays"
+        payloads = np.load(arrays_dir / "entry_payloads.npy")
+        payloads[0] += 1
+        np.save(arrays_dir / "entry_payloads.npy", payloads)
+        with pytest.raises(ValidationError):
+            load_engine_sharded(tmp_path / "engine", mmap_index=True)
+
+    def test_mmap_with_database_rejected(self, array_engine, database, tmp_path):
+        save_engine_sharded(array_engine, tmp_path / "engine")
+        with pytest.raises(ValidationError):
+            load_engine_sharded(
+                tmp_path / "engine", database, mmap_index=True
+            )
+
+    def test_maintenance_recompacts_arrays(self, database, queries):
+        from repro.data.database import GeneFeatureDatabase
+
+        matrices = list(database)
+        head = GeneFeatureDatabase()
+        for matrix in matrices[:-1]:
+            head.add(matrix)
+
+        engine = IMGRNEngine(head, _config(use_array_index=True))
+        engine.build()
+        before = engine.array_index.fingerprint()
+
+        engine.add_matrix(matrices[-1])
+        assert engine.array_index is not None
+        assert engine.array_index.fingerprint() != before
+        assert len(engine.array_index) == len(engine.tree)
+
+        # After maintenance the array view still answers like a fresh
+        # object-tree build over the same matrices.
+        full = GeneFeatureDatabase()
+        for matrix in matrices:
+            full.add(matrix)
+        fresh = IMGRNEngine(full, _config(use_array_index=False))
+        fresh.build()
+        assert _answers(engine, queries) == _answers(fresh, queries)
+
+        engine.remove_matrix(matrices[-1].source_id)
+        assert len(engine.array_index) == len(engine.tree)

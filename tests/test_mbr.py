@@ -41,6 +41,17 @@ class TestConstruction:
         with pytest.raises(ValidationError):
             MBR.union_of([])
 
+    def test_nan_corners_rejected(self):
+        with pytest.raises(ValidationError):
+            box([0.0, np.nan], [1.0, 1.0])
+        with pytest.raises(ValidationError):
+            box([0.0, 0.0], [np.nan, 1.0])
+
+    def test_all_nan_corners_rejected(self):
+        # NaN must not slip through the low <= high comparison.
+        with pytest.raises(ValidationError):
+            box([np.nan, np.nan], [np.nan, np.nan])
+
 
 class TestGeometry:
     def test_area_and_margin(self):
@@ -114,3 +125,27 @@ class TestGeometry:
         u = MBR.union_of(boxes)
         for b in boxes:
             assert u.contains(b)
+
+
+class TestHighDimArea:
+    """The underflow bug: tiny per-axis extents in high dim flush area to 0."""
+
+    def test_area_underflows_where_log_area_does_not(self):
+        # 200 axes of 1e-2 extent: true area 1e-400 is below the float64
+        # denormal range, so area() underflows to exactly 0.0 ...
+        dim = 200
+        b = MBR(np.zeros(dim), np.full(dim, 1e-2))
+        assert b.area() == 0.0
+        # ... while log_area() stays finite and ordered.
+        assert b.log_area() == pytest.approx(dim * np.log(1e-2))
+
+    def test_log_area_orders_degenerate_free_boxes(self):
+        dim = 150
+        small = MBR(np.zeros(dim), np.full(dim, 1e-3))
+        large = MBR(np.zeros(dim), np.full(dim, 2e-3))
+        assert small.area() == large.area() == 0.0  # both underflow
+        assert small.log_area() < large.log_area()
+
+    def test_log_area_of_point_box_is_neg_inf(self):
+        b = MBR.from_point(np.array([1.0, 2.0, 3.0]))
+        assert b.log_area() == -np.inf

@@ -56,6 +56,48 @@ class TestMBRProperties:
         assert a.union(a) == a
 
 
+def point_boxes(dim=3):
+    """Degenerate boxes: zero extent on every axis (single points)."""
+    return hnp.arrays(np.float64, dim, elements=coords).map(MBR.from_point)
+
+
+class TestDegenerateBoxProperties:
+    """Point boxes (zero extent) exercise the area-underflow edge cases."""
+
+    @given(point_boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_point_box_geometry(self, a):
+        assert a.area() == 0.0
+        assert a.margin() == 0.0
+        assert a.log_area() == -np.inf
+        assert a.contains_point(a.low)
+
+    @given(point_boxes(), point_boxes())
+    @settings(max_examples=60, deadline=None)
+    def test_point_box_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a)
+        assert u.contains(b)
+        # Union of two points has zero overlap with measure-zero boxes.
+        assert a.overlap(b) == 0.0
+
+    @given(point_boxes(), boxes())
+    @settings(max_examples=60, deadline=None)
+    def test_enlargement_by_point_box_non_negative(self, p, b):
+        assert b.enlargement(p) >= -1e-6
+        assert p.enlargement(b) >= -1e-6
+
+    @given(boxes(dim=6))
+    @settings(max_examples=40, deadline=None)
+    def test_log_area_consistent_with_area(self, a):
+        """Where area() does not underflow, exp(log_area()) must agree."""
+        area = a.area()
+        if area > 0.0:
+            assert np.exp(a.log_area()) == pytest.approx(area, rel=1e-9)
+        else:
+            assert a.log_area() == -np.inf or np.exp(a.log_area()) < 1e-300
+
+
 class TestBitvectorProperties:
     @given(st.sets(st.integers(0, 10_000), max_size=40), st.integers(0, 10_000))
     @settings(max_examples=100, deadline=None)

@@ -92,6 +92,61 @@ class TestSearch:
         box = MBR(np.full(2, -100.0), np.full(2, 100.0))
         assert len(tree.search(box)) == 60
 
+    def test_empty_tree_nearest(self):
+        tree = RStarTree(dim=2)
+        assert tree.nearest(np.zeros(2), k=3) == []
+
+    def test_never_finalized_tree_searchable(self, rng):
+        # search() must not require finalize(): mid-build lookups return
+        # exactly the live entries, not [] or stale data.
+        pts = rng.normal(size=(30, 2))
+        tree = build_tree(pts)
+        assert not tree._finalized
+        box = MBR(np.full(2, -100.0), np.full(2, 100.0))
+        assert len(tree.search(box)) == 30
+
+
+class TestCoordinateValidation:
+    """NaN coordinates must raise, not silently vanish from every search."""
+
+    def test_insert_nan_rejected(self):
+        tree = RStarTree(dim=2)
+        with pytest.raises(ValidationError):
+            tree.insert(np.array([0.0, np.nan]), 0, 0, 0)
+        assert len(tree) == 0
+
+    def test_insert_inf_rejected(self):
+        tree = RStarTree(dim=2)
+        with pytest.raises(ValidationError):
+            tree.insert(np.array([np.inf, 0.0]), 0, 0, 0)
+
+    def test_bulk_load_nan_rejected(self, rng):
+        from repro.index.node import LeafEntry
+
+        tree = RStarTree(dim=2)
+        pts = rng.normal(size=(10, 2))
+        pts[4, 1] = np.nan
+        # The NaN is caught at LeafEntry construction (its point MBR)
+        # or, failing that, by bulk_load's own finiteness check.
+        with pytest.raises(ValidationError):
+            entries = [
+                LeafEntry(p, gene_id=i, source_id=0, payload=i)
+                for i, p in enumerate(pts)
+            ]
+            tree.bulk_load(entries)
+
+    def test_nearest_nan_query_rejected(self, rng):
+        tree = build_tree(rng.normal(size=(20, 2)))
+        with pytest.raises(ValidationError):
+            tree.nearest(np.array([np.nan, 0.0]))
+
+    def test_finite_points_unaffected(self, rng):
+        # The validation must not reject any finite workload.
+        pts = rng.normal(size=(40, 3)) * 1e6
+        tree = build_tree(pts)
+        assert len(tree) == 40
+        tree.check_invariants()
+
 
 class TestIOAccounting:
     def test_search_counts_pages(self, rng):

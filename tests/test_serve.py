@@ -260,6 +260,31 @@ class TestDegradation:
         assert outcome.status == "ok"
         assert outcome.attempts == 2
 
+    def test_retry_backoff_capped_at_deadline(self, query_workload):
+        """A backoff sleep must never run past the per-query deadline.
+
+        With a 10 s configured backoff and a ~0.3 s deadline, the old
+        (uncapped) sleep made the worker thread doze for the full 10 s,
+        stalling close(). The cap bounds each pause by the remaining
+        budget, so the whole round trip -- including the context-manager
+        exit that joins the pool -- completes in well under the
+        configured backoff.
+        """
+        engine = _SleepyEngine(fail_times=5)
+        config = ServeConfig(
+            max_workers=1,
+            max_retries=3,
+            backoff_seconds=10.0,
+            timeout_seconds=0.3,
+        )
+        started = time.perf_counter()
+        with QueryServer(engine, config) as server:
+            outcome = server.query(query_workload[0], gamma=0.5, alpha=0.2)
+        elapsed = time.perf_counter() - started
+        assert outcome.status == "timeout"
+        assert not outcome.ok
+        assert elapsed < 2.0, f"backoff slept past the deadline: {elapsed:.2f}s"
+
 
 class TestValidation:
     def test_invalid_gamma_rejected_before_dispatch(
