@@ -4,7 +4,8 @@ Runs laptop-second-scale versions of the two headline experiments --
 IM-GRN vs Baseline querying (Fig. 6) and serial vs parallel index
 construction (Fig. 13, now including an mmap round-trip check of the
 array-backed index) -- plus a QueryServer 1-vs-8-thread throughput
-round and a vectorized-vs-scalar traversal microbench, and writes the
+round, a network-daemon burst (forked mmap workers, p99 + clean-drain
+gates), and a vectorized-vs-scalar traversal microbench, and writes the
 per-key median of ``--repeats`` runs (default 3) to ``BENCH_CI.json``.
 The CI ``bench-smoke`` job compares that file against the committed
 ``benchmarks/baseline.json`` with :mod:`check_regression` and fails the
@@ -224,15 +225,38 @@ def bench_serve_smoke() -> dict[str, float]:
     return smoke()
 
 
+def bench_daemon_smoke() -> dict[str, float]:
+    """Network daemon burst: forked mmap workers behind HTTP admission.
+
+    Delegates to :func:`bench_serve_daemon.smoke`, which starts a real
+    :class:`repro.serve.QueryDaemon` on an ephemeral port, fires a
+    concurrent multi-client burst, and asserts bit-identity with the
+    in-process engine, recorded p99 latency, and a clean drain.
+    """
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        from bench_serve_daemon import smoke
+    finally:
+        sys.path.pop(0)
+    return smoke()
+
+
 #: Floors written into the baseline: keys that must stay >= the floor value.
 #: ``speedup*`` floors are only enforced on multi-core runners (see
 #: check_regression.py) -- a 1-CPU box cannot show a parallel speedup --
 #: while ``*_over_*`` ratio floors hold on any machine: the vectorized
-#: traversal beats the scalar loop even single-threaded.
+#: traversal beats the scalar loop even single-threaded, the daemon's
+#: indicator keys are 0/1, and its requests/sec ratio clears 10 on any
+#: hardware that can run the suite at all.
 FLOORS = {
     "fig13_small.speedup_workers4": 1.0,
     "serve_smoke.speedup_threads8": 3.0,
     "traversal_micro.vectorized_over_scalar": 1.5,
+    "daemon_smoke.p99_recorded": 1.0,
+    "daemon_smoke.drained_clean": 1.0,
+    "daemon_smoke.rps_over_unit": 10.0,
 }
 
 
@@ -247,6 +271,7 @@ def run(repeats: int = 3) -> dict[str, object]:
         ("fig06_small", bench_fig06_small),
         ("fig13_small", bench_fig13_small),
         ("serve_smoke", bench_serve_smoke),
+        ("daemon_smoke", bench_daemon_smoke),
         ("traversal_micro", bench_traversal_micro),
     ):
         samples = []

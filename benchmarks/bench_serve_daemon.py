@@ -1,0 +1,218 @@
+"""Daemon throughput benchmark: concurrent burst over the network.
+
+Builds one IM-GRN engine, persists it as a sharded save, starts a
+:class:`repro.serve.QueryDaemon` on an ephemeral port with forked
+``mmap_index=True`` worker processes, and fires a concurrent client
+burst at it. Before reporting numbers it asserts the acceptance gates
+of the daemon PR:
+
+* every burst request comes back ``ok`` and **bit-identical** to the
+  in-process engine's answer (sources, probabilities, count stats);
+* p50/p95/p99 latency quantiles are recorded and exported (the
+  ``/stats`` endpoint reports them from the
+  ``serve.request_seconds`` histogram);
+* the daemon drains cleanly when asked to stop.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_daemon.py
+    PYTHONPATH=src python benchmarks/bench_serve_daemon.py \
+        --clients 8 --queries 4 --json daemon.json
+
+:func:`smoke` is the CI entry point: its flat dict feeds
+``bench_ci_smoke.py`` / ``check_regression.py``. The
+``rps_over_unit`` key is requests/sec expressed as a ratio so the
+regression gate treats it as a floored machine ratio (floor in
+``benchmarks/baseline.json``) rather than drift-gating a
+hardware-dependent absolute; ``p99_recorded`` and ``drained_clean``
+are 0/1 indicators with hard floors of 1.0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.config import (
+    DaemonConfig,
+    EngineConfig,
+    ObservabilityConfig,
+    SyntheticConfig,
+)
+from repro.core.persistence import save_engine_sharded
+from repro.core.query import IMGRNEngine
+from repro.data.queries import generate_query_workload
+from repro.data.synthetic import generate_database
+from repro.serve import DaemonClient, QueryDaemon, serve_in_background
+
+SEED = 7
+GAMMA = ALPHA = 0.5
+
+#: Private registries keep the bench's counters isolated from anything
+#: else in the process.
+_OBS = ObservabilityConfig(shared_registry=False)
+
+COUNT_FIELDS = ("io_accesses", "candidates", "answers", "pruned_pairs")
+
+
+def build_engine(n_matrices: int = 16, seed: int = SEED) -> IMGRNEngine:
+    database = generate_database(
+        SyntheticConfig(weights="uni", genes_range=(20, 40), seed=seed),
+        n_matrices,
+    )
+    engine = IMGRNEngine(database, EngineConfig(seed=seed, observability=_OBS))
+    engine.build()
+    return engine
+
+
+def run_burst(
+    engine: IMGRNEngine,
+    clients: int = 4,
+    queries: int = 4,
+    workers: int = 2,
+    backend: str = "process",
+) -> dict[str, float]:
+    """Serve ``clients * queries`` concurrent requests; gate and time them.
+
+    Each client thread opens its own keep-alive connection and replays
+    the fixed workload; responses are checked bit-for-bit against the
+    in-process engine before any number is reported.
+    """
+    workload = generate_query_workload(
+        engine.database, n_q=3, count=queries, rng=SEED
+    )
+    reference = [engine.query(q, gamma=GAMMA, alpha=ALPHA) for q in workload]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        save_engine_sharded(engine, Path(tmp))
+        daemon = QueryDaemon(
+            index_dir=tmp,
+            config=DaemonConfig(
+                workers=workers,
+                backend=backend,
+                queue_size=max(64, clients * queries),
+            ),
+        )
+        handle = serve_in_background(daemon)
+        results: list[list[dict]] = [[] for _ in range(clients)]
+        errors: list[BaseException] = []
+
+        def client_loop(slot: int) -> None:
+            client = DaemonClient(
+                "127.0.0.1", handle.port, client_id=f"bench-{slot}"
+            )
+            try:
+                for query in workload:
+                    results[slot].append(
+                        client.query(query, gamma=GAMMA, alpha=ALPHA)
+                    )
+            except BaseException as exc:  # surfaced after the join
+                errors.append(exc)
+            finally:
+                client.close()
+
+        drained_clean = 0.0
+        try:
+            threads = [
+                threading.Thread(target=client_loop, args=(slot,))
+                for slot in range(clients)
+            ]
+            started = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            burst_seconds = time.perf_counter() - started
+            if errors:
+                raise errors[0]
+
+            # Gate 1: everything ok and bit-identical to the in-process
+            # engine (same sources, same float probabilities, same counts).
+            for outcomes in results:
+                assert len(outcomes) == len(workload)
+                for out, ref in zip(outcomes, reference):
+                    assert out["status"] == "ok", out
+                    assert out["sources"] == ref.answer_sources()
+                    got = [a["probability"] for a in out["answers"]]
+                    want = [a.probability for a in ref.answers]
+                    assert got == want, "daemon answers diverged"
+                    for field in COUNT_FIELDS:
+                        assert out["stats"][field] == getattr(
+                            ref.stats, field
+                        ), field
+
+            # Gate 2: latency quantiles recorded for the whole burst.
+            stats_client = DaemonClient("127.0.0.1", handle.port)
+            try:
+                stats = stats_client.stats()
+            finally:
+                stats_client.close()
+            latency = stats["latency_seconds"]
+            total = clients * len(workload)
+            assert latency.get("count") == total, latency
+            assert latency["p50"] <= latency["p95"] <= latency["p99"]
+            p99_recorded = 1.0
+        finally:
+            # Gate 3: graceful drain (stop() raises if it hangs).
+            handle.stop()
+            drained_clean = 1.0
+
+    return {
+        "requests": float(total),
+        "ok_requests": float(total),
+        "burst_seconds": burst_seconds,
+        "p99_seconds": float(latency["p99"]),
+        "p99_recorded": p99_recorded,
+        "drained_clean": drained_clean,
+        "rps_over_unit": total / burst_seconds if burst_seconds > 0 else 0.0,
+    }
+
+
+def smoke() -> dict[str, float]:
+    """CI smoke numbers: 4 clients x 4 queries against 2 forked workers."""
+    engine = build_engine()
+    return run_burst(engine, clients=4, queries=4, workers=2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-matrices", type=int, default=16)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--queries", type=int, default=4, help="queries per client")
+    parser.add_argument("--daemon-workers", type=int, default=2)
+    parser.add_argument(
+        "--backend", default="process", choices=["process", "thread"]
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--json", default=None, help="also write results as JSON")
+    args = parser.parse_args()
+
+    engine = build_engine(n_matrices=args.n_matrices, seed=args.seed)
+    result = run_burst(
+        engine,
+        clients=args.clients,
+        queries=args.queries,
+        workers=args.daemon_workers,
+        backend=args.backend,
+    )
+    print(
+        f"daemon burst: {result['requests']:.0f} requests in "
+        f"{result['burst_seconds']:.3f}s "
+        f"({result['rps_over_unit']:.1f} req/s, p99 "
+        f"{result['p99_seconds'] * 1000:.1f}ms, drained clean)"
+    )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ from .config import (
     DEFAULTS,
     PAPER_GRID,
     BuildConfig,
+    DaemonConfig,
     Defaults,
     EngineConfig,
     InferenceConfig,
@@ -68,11 +69,14 @@ from .data.organisms import ORGANISMS, OrganismSpec, generate_organism_matrix
 from .data.queries import extract_query, generate_query_workload
 from .data.synthetic import generate_database, generate_matrix
 from .serve import (
+    DaemonClient,
+    QueryDaemon,
     QueryOutcome,
     QueryServer,
     QuerySpec,
     ServeConfig,
     TransientError,
+    serve_in_background,
 )
 from .obs import (
     MetricsRegistry,
@@ -104,6 +108,7 @@ __all__ = [
     "Defaults",
     "EngineConfig",
     "InferenceConfig",
+    "DaemonConfig",
     "ObservabilityConfig",
     "ParameterGrid",
     "SyntheticConfig",
@@ -144,6 +149,9 @@ __all__ = [
     "QueryOutcome",
     "ServeConfig",
     "TransientError",
+    "QueryDaemon",
+    "DaemonClient",
+    "serve_in_background",
     # generalizations (Appendix A / future work)
     "AdHocMatchEngine",
     "FeatureCollection",

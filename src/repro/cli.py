@@ -12,6 +12,7 @@ plus the operational commands::
     imgrn build --workers 4 --save index_dir   # parallel sharded build
     imgrn query --trace-out trace.json   # run queries, dump a Chrome trace
     imgrn serve-batch --serve-workers 8  # concurrent batch via QueryServer
+    imgrn serve index_dir --port 8080    # network daemon over a sharded save
     imgrn stats metrics.json             # pretty-print a metrics snapshot
 
 Every option has a laptop-scale default; the sweeps reproduce the figure
@@ -291,6 +292,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics registry as JSON",
     )
 
+    daemon = sub.add_parser(
+        "serve",
+        help="run the network serving daemon over a sharded save "
+        "(multi-process mmap workers; see docs/daemon.md)",
+    )
+    daemon.add_argument(
+        "index_dir",
+        help="directory written by save_engine_sharded (imgrn build --out)",
+    )
+    daemon.add_argument("--host", default="127.0.0.1")
+    daemon.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 picks an ephemeral port, printed at startup)",
+    )
+    daemon.add_argument(
+        "--daemon-workers",
+        type=int,
+        default=2,
+        help="worker processes, each mmap-ing the index read-only",
+    )
+    daemon.add_argument(
+        "--backend",
+        default="process",
+        choices=["process", "thread"],
+        help="process = forked mmap workers; thread = one in-process engine",
+    )
+    daemon.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="admission queue bound; beyond it requests are shed (503)",
+    )
+    daemon.add_argument(
+        "--rate-limit-qps",
+        type=float,
+        default=0.0,
+        help="per-client token-bucket refill rate (0 disables)",
+    )
+    daemon.add_argument(
+        "--rate-limit-burst",
+        type=int,
+        default=8,
+        help="per-client token-bucket capacity",
+    )
+    daemon.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-query deadline in seconds (0 disables)",
+    )
+    daemon.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        help="grace period for in-flight work on SIGTERM",
+    )
+
     stats = sub.add_parser(
         "stats", help="render a metrics snapshot (JSON file or live registry)"
     )
@@ -567,6 +627,40 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the network serving daemon until SIGTERM/SIGINT."""
+    import asyncio
+
+    from .config import DaemonConfig
+    from .serve import QueryDaemon
+
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.daemon_workers,
+        backend=args.backend,
+        queue_size=args.queue_size,
+        rate_limit_qps=args.rate_limit_qps,
+        rate_limit_burst=args.rate_limit_burst,
+        timeout_seconds=args.timeout if args.timeout > 0 else None,
+        drain_seconds=args.drain_seconds,
+    )
+    daemon = QueryDaemon(index_dir=args.index_dir, config=config)
+
+    def _ready(d: QueryDaemon) -> None:
+        # Parseable by scripts doing port-0 discovery (see docs/daemon.md).
+        print(
+            f"imgrn serve: listening on {config.host}:{d.port} "
+            f"(backend={config.backend}, workers={config.workers}, "
+            f"fingerprint={d.fingerprint[:12] if d.fingerprint else 'n/a'})",
+            flush=True,
+        )
+
+    asyncio.run(daemon.run(ready=_ready))
+    print("imgrn serve: drained cleanly", flush=True)
+    return 0
+
+
 def _run_stats(path: str | None, output_format: str) -> int:
     """Render a metrics snapshot as a table, JSON or Prometheus text."""
     from .obs import get_registry
@@ -617,6 +711,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if name == "serve-batch":
         return _run_serve_batch(args)
+
+    if name == "serve":
+        return _run_serve(args)
 
     if name == "stats":
         return _run_stats(args.path, args.format)

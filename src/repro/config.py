@@ -26,6 +26,7 @@ __all__ = [
     "ParameterGrid",
     "Defaults",
     "BuildConfig",
+    "DaemonConfig",
     "EngineConfig",
     "InferenceConfig",
     "ObservabilityConfig",
@@ -315,6 +316,104 @@ class EngineConfig:
             )
 
     def with_(self, **changes: object) -> "EngineConfig":
+        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Knobs of the network serving daemon (:mod:`repro.serve.daemon`).
+
+    Attributes
+    ----------
+    host / port:
+        TCP bind address. ``port=0`` binds an ephemeral port; the bound
+        port is reported by the daemon (``daemon.port``) and printed by
+        ``imgrn serve`` on startup.
+    workers:
+        Worker parallelism. With the ``process`` backend this is the
+        number of forked worker processes, each of which loads the
+        sharded index with ``mmap_index=True`` so all of them share one
+        page-cache copy; with the ``thread`` backend it is the number of
+        threads querying one in-process engine (the engines' read paths
+        are reentrant).
+    backend:
+        ``"process"`` (default) forks workers over a saved sharded
+        index -- the past-the-GIL path for CPU-bound query fan-out;
+        ``"thread"`` serves from one in-process engine (platforms
+        without ``fork``, tests, or engines that were never persisted).
+    queue_size:
+        Bound of the admission queue. A request arriving while the queue
+        is full is *shed* -- answered immediately with a structured
+        503-style ``status="shed"`` body instead of waiting -- so an
+        overloaded daemon degrades by refusing work, not by stalling
+        every client.
+    rate_limit_qps / rate_limit_burst:
+        Per-client token bucket: sustained requests/second and burst
+        capacity. A client is identified by its ``X-Client-Id`` header
+        (falling back to the peer address); ``rate_limit_qps=0``
+        disables rate limiting.
+    timeout_seconds:
+        Per-request deadline measured from dispatch to a worker. On
+        expiry the request resolves to ``status="timeout"`` and the
+        (process-backend) worker is respawned rather than left busy.
+        ``None`` disables deadlines.
+    drain_seconds:
+        Grace budget of a SIGTERM / programmatic drain: the daemon stops
+        accepting connections, then waits up to this long for queued and
+        in-flight requests to finish before shutting workers down.
+    max_request_bytes:
+        Largest accepted request body (guards the JSON parser).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    backend: str = "process"
+    queue_size: int = 64
+    rate_limit_qps: float = 0.0
+    rate_limit_burst: int = 8
+    timeout_seconds: float | None = 30.0
+    drain_seconds: float = 10.0
+    max_request_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ValidationError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ValidationError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.backend not in ("process", "thread"):
+            raise ValidationError(
+                f"backend must be 'process' or 'thread', got {self.backend!r}"
+            )
+        if self.queue_size < 1:
+            raise ValidationError(
+                f"queue_size must be >= 1, got {self.queue_size}"
+            )
+        if self.rate_limit_qps < 0:
+            raise ValidationError(
+                f"rate_limit_qps must be >= 0, got {self.rate_limit_qps}"
+            )
+        if self.rate_limit_burst < 1:
+            raise ValidationError(
+                f"rate_limit_burst must be >= 1, got {self.rate_limit_burst}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValidationError(
+                f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+        if self.drain_seconds < 0:
+            raise ValidationError(
+                f"drain_seconds must be >= 0, got {self.drain_seconds}"
+            )
+        if self.max_request_bytes < 1024:
+            raise ValidationError(
+                f"max_request_bytes must be >= 1024, got {self.max_request_bytes}"
+            )
+
+    def with_(self, **changes: object) -> "DaemonConfig":
         """Return a copy with ``changes`` applied (convenience for sweeps)."""
         return replace(self, **changes)  # type: ignore[arg-type]
 

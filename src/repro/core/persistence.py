@@ -44,6 +44,7 @@ __all__ = [
     "load_engine",
     "save_engine_sharded",
     "load_engine_sharded",
+    "sharded_save_fingerprint",
 ]
 
 #: Archive format version (bump on layout changes).
@@ -431,6 +432,54 @@ def save_engine_sharded(
         meta["index_arrays"] = arrays_entry
     meta_path.write_text(json.dumps(meta, indent=2), encoding="utf-8")
     return {"written": written, "skipped": skipped, "index_arrays": arrays_state}
+
+
+def sharded_save_fingerprint(directory: str | Path) -> str:
+    """Content fingerprint of a sharded save, cheap enough to poll.
+
+    Reads only ``meta.json`` and hashes the parts that determine query
+    answers: the per-matrix content fingerprints (in shard order), the
+    embedding-relevant config key, and the array-store snapshot
+    fingerprint when present. Two saves with equal fingerprints load
+    into engines that answer every query identically, so this is the
+    republish-detection hook of the serving daemon's hot reload: the
+    daemon records the fingerprint at startup and swaps in fresh
+    ``mmap_index=True`` workers when a later poll (SIGHUP or the
+    ``/reload`` admin verb) sees it change.
+
+    Raises
+    ------
+    ValidationError
+        If the directory is not a sharded engine save.
+    """
+    import hashlib
+
+    target = Path(directory)
+    meta_path = target / "meta.json"
+    if not meta_path.is_file():
+        raise ValidationError(f"{target}: not a sharded engine save")
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValidationError(f"{target}: unreadable meta.json: {exc}") from exc
+    if meta.get("format_version") != _SHARDED_FORMAT_VERSION:
+        raise ValidationError(
+            f"{target}: unsupported sharded format "
+            f"{meta.get('format_version')!r}"
+        )
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(meta.get("embedding_config"), sort_keys=True).encode("utf-8")
+    )
+    for entry in meta.get("shards", ()):
+        digest.update(json.dumps(entry.get("sources")).encode("utf-8"))
+        digest.update(
+            json.dumps(entry.get("fingerprints"), sort_keys=True).encode("utf-8")
+        )
+    arrays = meta.get("index_arrays")
+    if arrays is not None:
+        digest.update(str(arrays.get("fingerprint")).encode("utf-8"))
+    return digest.hexdigest()
 
 
 def load_engine_sharded(

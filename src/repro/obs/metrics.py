@@ -190,6 +190,34 @@ class Histogram(_Metric):
             out.append(total)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        The same linear-within-bucket interpolation Prometheus's
+        ``histogram_quantile`` applies: find the bucket where the
+        cumulative count crosses ``q * count`` and interpolate between
+        its bounds (the first bucket interpolates from 0). Observations
+        in the ``+Inf`` bucket clamp to the highest finite bound. Raises
+        :class:`~repro.errors.ValidationError` for ``q`` outside [0, 1];
+        returns ``nan`` when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        total = 0
+        for index, bucket_count in enumerate(self.counts):
+            total += bucket_count
+            if total >= rank and bucket_count:
+                if index >= len(self.buckets):  # +Inf bucket: clamp
+                    return self.buckets[-1]
+                upper = self.buckets[index]
+                lower = self.buckets[index - 1] if index else 0.0
+                within = (rank - (total - bucket_count)) / bucket_count
+                return lower + (upper - lower) * max(0.0, min(1.0, within))
+        return self.buckets[-1]
+
 
 class MetricsRegistry:
     """Get-or-create home of all metric series of one process or engine."""

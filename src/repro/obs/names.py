@@ -8,9 +8,11 @@ observes what) is documented in ``docs/observability.md``.
 Counters carry an ``engine`` label (``imgrn``, ``baseline``,
 ``linear_scan``, ``measure_scan``); ``query.pruned_pairs`` additionally
 carries a ``stage`` label naming the pruning rule that fired. The
-``serve.*`` series belong to :class:`repro.serve.QueryServer` and carry
-the wrapped engine's label; ``serve.queries`` adds a ``status`` label
-(``ok`` / ``cached`` / ``timeout`` / ``error``).
+``serve.*`` series belong to :class:`repro.serve.QueryServer` and the
+network daemon (:mod:`repro.serve.daemon`) and carry the wrapped
+engine's label; ``serve.queries`` adds a ``status`` label (``ok`` /
+``cached`` / ``timeout`` / ``error``, plus the daemon's admission
+statuses ``shed`` / ``rate_limited``).
 """
 
 from __future__ import annotations
@@ -34,8 +36,13 @@ __all__ = [
     "SERVE_RETRIES",
     "SERVE_CACHE_HITS",
     "SERVE_CACHE_MISSES",
+    "SERVE_LATE_COMPLETIONS",
+    "SERVE_SHED",
+    "SERVE_INFLIGHT",
+    "SERVE_QUEUE_DEPTH",
     "SERVE_QUERY_SECONDS",
     "SERVE_BATCH_SECONDS",
+    "SERVE_REQUEST_SECONDS",
     "STAGE_INFERENCE",
     "STAGE_RETRIEVE",
     "STAGE_REFINE",
@@ -69,6 +76,20 @@ SERVE_RETRIES = "serve.retries"
 #: Result-cache hits / misses of the serving layer (label: engine).
 SERVE_CACHE_HITS = "serve.cache_hits"
 SERVE_CACHE_MISSES = "serve.cache_misses"
+#: Workers that completed after their per-query timeout was already
+#: reported (labels: engine, status). Successful late completions still
+#: warm the result cache -- intended behavior, made visible here.
+SERVE_LATE_COMPLETIONS = "serve.late_completions"
+#: Requests the daemon refused at admission (label: reason --
+#: ``queue_full`` for load shedding, ``rate_limit`` for token-bucket
+#: rejections).
+SERVE_SHED = "serve.shed"
+
+# -- gauges -------------------------------------------------------------
+#: Requests currently executing on daemon workers (gauge).
+SERVE_INFLIGHT = "serve.inflight"
+#: Requests waiting in the daemon's bounded admission queue (gauge).
+SERVE_QUEUE_DEPTH = "serve.queue_depth"
 
 # -- histograms (seconds) ----------------------------------------------
 #: Per-query stage wall-clock (labels: engine, stage; see STAGE_*).
@@ -81,6 +102,9 @@ BUILD_SHARD_SECONDS = "build.shard_seconds"
 SERVE_QUERY_SECONDS = "serve.query_seconds"
 #: Whole-batch wall-clock of the serving layer (label: engine).
 SERVE_BATCH_SECONDS = "serve.batch_seconds"
+#: Per-request wall-clock of the network daemon, accept-to-response
+#: (label: status). p50/p95/p99 are estimated from its buckets.
+SERVE_REQUEST_SECONDS = "serve.request_seconds"
 
 # -- stage label values of STAGE_SECONDS -------------------------------
 #: Query-graph inference (a sub-measure of the retrieve stage).

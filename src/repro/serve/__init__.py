@@ -4,8 +4,16 @@
 and serves batches or streams of IM-GRN queries concurrently, with
 per-query deadlines, bounded retry with backoff on transient failures,
 and a content-keyed LRU result cache.
+
+:class:`QueryDaemon` (``imgrn serve``, see ``docs/daemon.md``) puts a
+sharded save on the network: an asyncio HTTP/1.1 front end with
+admission control and per-client rate limits over a pool of forked
+workers that mmap the index read-only. :class:`DaemonClient` is its
+stdlib client.
 """
 
+from .client import DaemonClient, DaemonError
+from .daemon import DaemonHandle, QueryDaemon, serve_in_background
 from .server import (
     QueryOutcome,
     QueryServer,
@@ -16,10 +24,15 @@ from .server import (
 )
 
 __all__ = [
+    "DaemonClient",
+    "DaemonError",
+    "DaemonHandle",
+    "QueryDaemon",
     "QueryOutcome",
     "QueryServer",
     "QuerySpec",
     "ResultCache",
     "ServeConfig",
     "TransientError",
+    "serve_in_background",
 ]

@@ -162,6 +162,11 @@ class QueryOutcome:
     error: str | None = None
     attempts: int = 0
     seconds: float = 0.0
+    #: True when the worker consulted the result cache and missed. Only
+    #: these outcomes count toward ``serve.cache_misses`` -- a
+    #: coordinator-side timeout never consulted the cache, so counting it
+    #: as a miss would conflate degradation with cache effectiveness.
+    cache_miss: bool = field(default=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -342,9 +347,12 @@ class QueryServer:
     ) -> Iterator[QueryOutcome]:
         """Lazy :meth:`batch`: yield outcomes in input order as they land.
 
-        The whole batch is submitted up front (full pool concurrency);
-        consuming the iterator drains it one outcome at a time, so a
-        caller can pipeline post-processing against in-flight queries.
+        The whole batch is submitted *here*, before the iterator is
+        returned -- not lazily at the first ``next()`` -- so the pool
+        starts working at full concurrency the moment ``stream()``
+        returns, and a caller can pipeline post-processing against
+        in-flight queries. Consuming the iterator only drains outcomes,
+        one at a time, in input order.
         """
         if self._closed:
             raise ValidationError("QueryServer is closed")
@@ -356,38 +364,45 @@ class QueryServer:
         )
         if deadline is not None and deadline <= 0:
             raise ValidationError(f"timeout must be > 0, got {deadline}")
-        return self._stream(specs, deadline)
+        # Submit eagerly: a generator body would not run (and therefore
+        # not submit anything) until the first next(), silently costing a
+        # non-consuming caller all pipelining.
+        batch_started = time.perf_counter()
+        submitted: list[tuple[Future, float]] = []
+        for index, spec in enumerate(specs):
+            submit_time = time.perf_counter()
+            # The worker receives the absolute deadline so its retry
+            # backoff can be capped at the remaining budget (a sleep
+            # past the deadline would otherwise keep the worker thread
+            # zombie-busy after the coordinator already reported the
+            # timeout, stalling close()).
+            deadline_at = (
+                None if deadline is None else submit_time + deadline
+            )
+            submitted.append(
+                (
+                    self._pool.submit(
+                        self._execute, index, spec, deadline_at
+                    ),
+                    submit_time,
+                )
+            )
+        return self._drain(specs, submitted, deadline, batch_started)
 
-    def _stream(
-        self, specs: list[QuerySpec], deadline: float | None
+    def _drain(
+        self,
+        specs: list[QuerySpec],
+        submitted: list[tuple[Future, float]],
+        deadline: float | None,
+        batch_started: float,
     ) -> Iterator[QueryOutcome]:
         tracer = self.obs.tracer
-        batch_started = time.perf_counter()
         with tracer.span(
             "serve.batch",
             engine=self.engine_label,
             queries=len(specs),
             workers=self.config.max_workers,
         ) as batch_span:
-            submitted: list[tuple[Future, float]] = []
-            for index, spec in enumerate(specs):
-                submit_time = time.perf_counter()
-                # The worker receives the absolute deadline so its retry
-                # backoff can be capped at the remaining budget (a sleep
-                # past the deadline would otherwise keep the worker thread
-                # zombie-busy after the coordinator already reported the
-                # timeout, stalling close()).
-                deadline_at = (
-                    None if deadline is None else submit_time + deadline
-                )
-                submitted.append(
-                    (
-                        self._pool.submit(
-                            self._execute, index, spec, deadline_at
-                        ),
-                        submit_time,
-                    )
-                )
             completed = 0
             for index, (future, submit_time) in enumerate(submitted):
                 spec = specs[index]
@@ -399,7 +414,11 @@ class QueryServer:
                         timeout=None if remaining is None else max(0.0, remaining)
                     )
                 except FutureTimeoutError:
-                    future.cancel()  # drop it if it never started
+                    if not future.cancel():  # drop it if it never started
+                        # Still running: the worker will finish after this
+                        # timeout was reported and warm the result cache;
+                        # record that late completion when it lands.
+                        future.add_done_callback(self._record_late_completion)
                     outcome = QueryOutcome(
                         index=index,
                         spec=spec,
@@ -438,6 +457,7 @@ class QueryServer:
         tracer = self.obs.tracer
         started = time.perf_counter()
         key = spec.cache_key() if self.cache is not None else None
+        cache_missed = False
         if self.cache is not None:
             hit = self.cache.get(key)
             if hit is not None:
@@ -452,6 +472,7 @@ class QueryServer:
                     result=hit,
                     seconds=time.perf_counter() - started,
                 )
+            cache_missed = True
         attempts = 0
         config = self.config
         while True:
@@ -475,6 +496,7 @@ class QueryServer:
                         error=f"retries exhausted: {exc}",
                         attempts=attempts,
                         seconds=time.perf_counter() - started,
+                        cache_miss=cache_missed,
                     )
                 pause = config.backoff_seconds * (
                     config.backoff_multiplier ** (attempts - 1)
@@ -492,6 +514,7 @@ class QueryServer:
                             ),
                             attempts=attempts,
                             seconds=time.perf_counter() - started,
+                            cache_miss=cache_missed,
                         )
                     pause = min(pause, remaining)
                 with tracer.span(
@@ -512,6 +535,7 @@ class QueryServer:
                     error=f"{type(exc).__name__}: {exc}",
                     attempts=attempts,
                     seconds=time.perf_counter() - started,
+                    cache_miss=cache_missed,
                 )
             if self.cache is not None:
                 self.cache.put(key, result)
@@ -522,6 +546,7 @@ class QueryServer:
                 result=result,
                 attempts=attempts,
                 seconds=time.perf_counter() - started,
+                cache_miss=cache_missed,
             )
 
     # ------------------------------------------------------------------
@@ -550,7 +575,13 @@ class QueryServer:
                         help="serve result-cache hits",
                         engine=self.engine_label,
                     ).inc()
-                else:
+                elif outcome.cache_miss:
+                    # Only a worker that actually consulted the cache and
+                    # missed counts here; a coordinator-side timeout or
+                    # dispatch failure never touched the cache, and
+                    # counting it would both conflate degradation with
+                    # cache effectiveness and drift from
+                    # ResultCache.misses.
                     metrics.counter(
                         _names.SERVE_CACHE_MISSES,
                         help="serve result-cache misses",
@@ -561,6 +592,46 @@ class QueryServer:
                 help="per-served-query seconds (queue wait included)",
                 engine=self.engine_label,
             ).observe(outcome.seconds)
+
+    def _record_late_completion(self, future: Future) -> None:
+        """Account a worker that finished after its timeout was reported.
+
+        The coordinator has already yielded a ``timeout`` outcome for this
+        query; the worker kept running and -- if it succeeded -- has
+        ``cache.put`` its result, warming the cache for the next identical
+        query. That cache-warming behavior is intended (pinned by
+        ``tests/test_serve.py``); this counter makes the otherwise
+        invisible late completions observable under
+        ``serve.late_completions`` with the worker outcome's status.
+        """
+        if future.cancelled():
+            return
+        outcome = future.result()  # _execute never raises
+        with self._metrics_lock:
+            self.obs.metrics.counter(
+                _names.SERVE_LATE_COMPLETIONS,
+                help="workers that completed after their timeout was "
+                "reported (successful ones still warm the result cache)",
+                engine=self.engine_label,
+                status=outcome.status,
+            ).inc()
+            # The worker really consulted the cache even though its
+            # outcome was never yielded; account the hit/miss here so
+            # serve.cache_hits/misses track ResultCache's own counters
+            # exactly (pinned by tests/test_serve.py).
+            if self.cache is not None:
+                if outcome.status == "cached":
+                    self.obs.metrics.counter(
+                        _names.SERVE_CACHE_HITS,
+                        help="serve result-cache hits",
+                        engine=self.engine_label,
+                    ).inc()
+                elif outcome.cache_miss:
+                    self.obs.metrics.counter(
+                        _names.SERVE_CACHE_MISSES,
+                        help="serve result-cache misses",
+                        engine=self.engine_label,
+                    ).inc()
 
     def stats(self) -> dict[str, float]:
         """Result-cache counters (all zero when caching is off)."""

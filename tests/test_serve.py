@@ -414,3 +414,83 @@ class TestServeMetrics:
         ) as server:
             indices = [o.index for o in server.stream(specs)]
         assert indices == list(range(len(specs)))
+
+
+class TestServeCorrectnessFixes:
+    """Regression tests for the daemon PR's serve-layer bugfixes."""
+
+    def test_stream_submits_eagerly_without_consumption(self, query_workload):
+        """stream() must dispatch the whole batch before any next().
+
+        Regression: the old generator-bodied stream() submitted nothing
+        until first iteration, so a caller that pipelined work before
+        consuming outcomes got zero concurrency.
+        """
+        engine = _SleepyEngine()
+        specs = [QuerySpec(m, 0.5, 0.5) for m in query_workload]
+        with QueryServer(
+            engine, ServeConfig(max_workers=len(specs), cache=False)
+        ) as server:
+            iterator = server.stream(specs)
+            deadline = time.time() + 5.0
+            while engine.calls < len(specs) and time.time() < deadline:
+                time.sleep(0.01)
+            # All queries executed although the iterator was never consumed.
+            assert engine.calls == len(specs)
+            outcomes = list(iterator)
+        assert [o.index for o in outcomes] == list(range(len(specs)))
+        assert all(o.status == "ok" for o in outcomes)
+
+    def test_timeout_not_counted_as_cache_miss(self, query_workload):
+        """A coordinator-side timeout never consulted the cache.
+
+        Regression: _record treated every non-hit outcome as a cache
+        miss, so serve.cache_misses drifted from ResultCache.misses
+        whenever queries timed out or failed.
+        """
+        engine = _SleepyEngine(sleep_seconds=0.5)
+        server = QueryServer(
+            engine, ServeConfig(max_workers=1, timeout_seconds=0.05)
+        )
+        mark = server.obs.metrics.mark()
+        spec = QuerySpec(query_workload[0], 0.5, 0.5)
+        with server:
+            (outcome,) = server.batch([spec])
+            assert outcome.status == "timeout"
+            time.sleep(0.8)  # let the abandoned worker finish
+        delta = server.obs.metrics.since(mark)
+        label = f'engine="{server.engine_label}"'
+        miss_key = f"{_names.SERVE_CACHE_MISSES}{{{label}}}"
+        # The worker DID consult the cache before computing (one genuine
+        # miss); the coordinator's timeout accounting must not add one.
+        assert delta.get(miss_key, 0.0) == server.cache.stats()["cache_misses"]
+        timeout_key = f'{_names.SERVE_QUERIES}{{{label},status="timeout"}}'
+        assert delta[timeout_key] == 1
+
+    def test_late_completion_recorded_and_warms_cache(self, query_workload):
+        """A worker finishing after its reported timeout is counted, and
+        its result intentionally warms the cache for the next caller."""
+        engine = _SleepyEngine(sleep_seconds=0.4)
+        server = QueryServer(
+            engine, ServeConfig(max_workers=1, timeout_seconds=0.05)
+        )
+        mark = server.obs.metrics.mark()
+        spec = QuerySpec(query_workload[0], 0.5, 0.5)
+        with server:
+            (first,) = server.batch([spec])
+            assert first.status == "timeout"
+            deadline = time.time() + 5.0
+            label = f'engine="{server.engine_label}"'
+            late_key = (
+                f'{_names.SERVE_LATE_COMPLETIONS}{{{label},status="ok"}}'
+            )
+            while (
+                server.obs.metrics.since(mark).get(late_key, 0.0) < 1
+                and time.time() < deadline
+            ):
+                time.sleep(0.02)
+            assert server.obs.metrics.since(mark)[late_key] == 1
+            # The late result landed in the cache: the retry is instant.
+            (second,) = server.batch([spec], timeout=5.0)
+        assert second.status == "cached"
+        assert engine.calls == 1  # never recomputed
