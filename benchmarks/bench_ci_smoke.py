@@ -5,8 +5,12 @@ IM-GRN vs Baseline querying (Fig. 6) and serial vs parallel index
 construction (Fig. 13, now including an mmap round-trip check of the
 array-backed index) -- plus a QueryServer 1-vs-8-thread throughput
 round, a network-daemon burst (forked mmap workers, p99 + clean-drain
-gates), and a vectorized-vs-scalar traversal microbench, and writes the
-per-key median of ``--repeats`` runs (default 3) to ``BENCH_CI.json``.
+gates), a workload-matrix smoke (containment / topk / similarity
+through engine and daemon, with the index-aware-top-k pruning ratio),
+a streaming-ingest round (add_matrix + incremental republish + daemon
+hot reload), and a vectorized-vs-scalar traversal microbench, and
+writes the per-key median of ``--repeats`` runs (default 3) to
+``BENCH_CI.json``.
 The CI ``bench-smoke`` job compares that file against the committed
 ``benchmarks/baseline.json`` with :mod:`check_regression` and fails the
 build on a regression.
@@ -209,6 +213,150 @@ def bench_traversal_micro() -> dict[str, float]:
     }
 
 
+def bench_workloads_smoke() -> dict[str, float]:
+    """Workload matrix: containment / topk / similarity, engine + daemon.
+
+    Gates of the QuerySpec PR, kept hot in CI:
+
+    * all three kinds agree between the indexed engine and the
+      exhaustive baseline (similarity soundness for edge budgets 0-2);
+    * index-aware top-k refines *fewer* candidates than the post-hoc
+      ``alpha=0`` sort while returning the identical answers -- the
+      ``topk_indexed_over_posthoc`` ratio (post-hoc refinements over
+      index-aware refinements) must stay >= 1.0, and this seeded
+      database makes the k-th-probability bound actually fire (> 1);
+    * one query of each kind round-trips through a live daemon
+      bit-identical to in-process ``execute()`` (``daemon_kinds_ok``).
+    """
+    from repro.core.spec import QuerySpec
+    from repro.data.database import GeneFeatureDatabase
+    from repro.data.matrix import GeneFeatureMatrix
+    from repro.serve.client import DaemonClient
+    from repro.serve.daemon import DaemonConfig, QueryDaemon, serve_in_background
+
+    database = generate_database(
+        SyntheticConfig(weights="uni", genes_range=(12, 18), seed=SEED), 16
+    )
+    queries = generate_query_workload(database, n_q=3, count=3, rng=SEED)
+    engine = IMGRNEngine(database, EngineConfig(seed=SEED, observability=_OBS))
+    engine.build()
+    baseline = BaselineEngine(
+        database, EngineConfig(seed=SEED, observability=_OBS)
+    )
+    baseline.build()
+
+    def answers(result):
+        return [(a.source_id, a.probability) for a in result.answers]
+
+    kind_answers = {"containment": 0, "topk": 0, "similarity": 0}
+    for query in queries:
+        specs = [
+            QuerySpec(query, GAMMA, ALPHA),
+            QuerySpec(query, GAMMA, kind="topk", k=3),
+            *(
+                QuerySpec(
+                    query, GAMMA, ALPHA, kind="similarity", edge_budget=b
+                )
+                for b in (0, 1, 2)
+            ),
+        ]
+        for spec in specs:
+            indexed = engine.execute(spec)
+            brute = baseline.execute(spec)
+            assert answers(indexed) == answers(brute), (
+                f"{spec.kind} diverged from the baseline"
+            )
+            kind_answers[spec.kind] += len(indexed.answers)
+
+    # One near-duplicate source among weak ones: the running k-th bound
+    # must actually prune (deterministic on this seed).
+    rng = np.random.default_rng(SEED)
+    genes = [0, 1, 2, 3]
+    crafted = [
+        GeneFeatureMatrix(rng.normal(size=(12, 4)), genes, sid)
+        for sid in range(8)
+    ]
+    pruner = IMGRNEngine(
+        GeneFeatureDatabase(crafted), EngineConfig(seed=SEED, observability=_OBS)
+    )
+    pruner.build()
+    probe = crafted[0].submatrix([0, 1, 2])
+    kth_key = 'query.pruned_pairs{engine="imgrn",stage="topk_kth_bound"}'
+    started = time.perf_counter()
+    posthoc = pruner.execute(QuerySpec(probe, 0.4, 0.0))
+    posthoc_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    topk = pruner.execute(QuerySpec(probe, 0.4, kind="topk", k=1))
+    topk_seconds = time.perf_counter() - started
+    reference = sorted(answers(posthoc), key=lambda sp: (-sp[1], sp[0]))
+    assert answers(topk) == reference[:1], "index-aware top-1 diverged"
+    kth_pruned = topk.metrics.get(kth_key, 0.0)
+    topk_refined = topk.stats.candidates - kth_pruned
+    ratio = posthoc.stats.candidates / topk_refined if topk_refined else 0.0
+
+    # Daemon round trip: one query of each kind, bit-identical answers.
+    daemon = QueryDaemon(
+        engine=engine, config=DaemonConfig(backend="thread", workers=2)
+    )
+    daemon_kinds_ok = 1.0
+    with serve_in_background(daemon) as handle:
+        client = DaemonClient("127.0.0.1", handle.port)
+        try:
+            for spec in (
+                QuerySpec(queries[0], GAMMA, ALPHA),
+                QuerySpec(queries[0], GAMMA, kind="topk", k=3),
+                QuerySpec(
+                    queries[0], GAMMA, ALPHA, kind="similarity", edge_budget=1
+                ),
+            ):
+                out = client.query(
+                    spec.matrix,
+                    gamma=spec.gamma,
+                    alpha=spec.alpha,
+                    kind=spec.kind,
+                    k=spec.k,
+                    edge_budget=spec.edge_budget,
+                )
+                served = [
+                    (a["source_id"], a["probability"]) for a in out["answers"]
+                ]
+                if out["status"] != "ok" or served != answers(
+                    engine.execute(spec)
+                ):
+                    daemon_kinds_ok = 0.0
+        finally:
+            client.close()
+    assert daemon_kinds_ok == 1.0, "a kind diverged over the wire"
+
+    return {
+        "containment_answers": float(kind_answers["containment"]),
+        "topk_answers": float(kind_answers["topk"]),
+        "similarity_answers": float(kind_answers["similarity"]),
+        "topk_kth_pruned": float(kth_pruned),
+        "topk_indexed_over_posthoc": float(ratio),
+        "posthoc_query_seconds": posthoc_seconds,
+        "topk_query_seconds": topk_seconds,
+        "daemon_kinds_ok": daemon_kinds_ok,
+    }
+
+
+def bench_streaming_smoke() -> dict[str, float]:
+    """Streaming ingest while serving: add_matrix -> republish -> reload.
+
+    Delegates to :func:`bench_streaming_ingest.smoke`, which keeps a
+    process-backend daemon answering all three workload kinds while the
+    builder engine ingests arrivals and hot-swaps the sharded save.
+    """
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        from bench_streaming_ingest import smoke
+    finally:
+        sys.path.pop(0)
+    return smoke()
+
+
 def bench_serve_smoke() -> dict[str, float]:
     """QueryServer throughput, 1 vs 8 worker threads, one fixed workload.
 
@@ -257,6 +405,10 @@ FLOORS = {
     "daemon_smoke.p99_recorded": 1.0,
     "daemon_smoke.drained_clean": 1.0,
     "daemon_smoke.rps_over_unit": 10.0,
+    "workloads_smoke.topk_indexed_over_posthoc": 1.0,
+    "workloads_smoke.daemon_kinds_ok": 1.0,
+    "streaming_smoke.streamed_visible": 1.0,
+    "streaming_smoke.reloads_ok": 4.0,
 }
 
 
@@ -272,6 +424,8 @@ def run(repeats: int = 3) -> dict[str, object]:
         ("fig13_small", bench_fig13_small),
         ("serve_smoke", bench_serve_smoke),
         ("daemon_smoke", bench_daemon_smoke),
+        ("workloads_smoke", bench_workloads_smoke),
+        ("streaming_smoke", bench_streaming_smoke),
         ("traversal_micro", bench_traversal_micro),
     ):
         samples = []

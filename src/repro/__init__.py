@@ -62,6 +62,7 @@ from .core.inference import (
 from .core.matching import Embedding, best_embedding, find_embeddings, matches
 from .core.probgraph import ProbabilisticGraph, edge_key
 from .core.query import IMGRNAnswer, IMGRNEngine, IMGRNResult
+from .core.spec import KINDS, QuerySpec, validate_query_params
 from .data.database import GeneFeatureDatabase
 from .data.matrix import GeneFeatureMatrix
 from .data.noise import add_noise, add_noise_to_database
@@ -73,7 +74,6 @@ from .serve import (
     QueryDaemon,
     QueryOutcome,
     QueryServer,
-    QuerySpec,
     ServeConfig,
     TransientError,
     serve_in_background,
@@ -146,6 +146,8 @@ __all__ = [
     # serving
     "QueryServer",
     "QuerySpec",
+    "KINDS",
+    "validate_query_params",
     "QueryOutcome",
     "ServeConfig",
     "TransientError",

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..config import EngineConfig
 from ..core.query import IMGRNEngine, IMGRNResult, _resolve_query_thresholds
+from ..core.spec import QuerySpec
 from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import ValidationError
@@ -121,12 +122,22 @@ class AdHocMatchEngine:
         The query's similarity graph is inferred at ``gamma``; answers are
         collections containing a label-preserving match with appearance
         probability above ``alpha``. Thresholds are keyword-only; the
-        positional form is deprecated.
+        positional form completed its deprecation cycle and raises
+        :class:`TypeError`. Other workload kinds go through
+        :meth:`execute`.
         """
         gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
         return self._engine.query(
             query_collection.to_matrix(), gamma=gamma, alpha=alpha
         )
+
+    def execute(self, spec: QuerySpec) -> IMGRNResult:
+        """Answer one typed workload (containment / topk / similarity).
+
+        Passes the spec straight to the wrapped engine's ``execute()``;
+        build the spec from ``collection.to_matrix()``.
+        """
+        return self._engine.execute(spec)
 
     def infer_graph(self, collection: FeatureCollection, gamma: float):
         """The collection's ad-hocly inferred similarity graph at ``gamma``.

@@ -208,7 +208,31 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--n-q", type=int, default=4, help="genes per query graph")
     query.add_argument("--queries", type=int, default=3)
     query.add_argument("--gamma", type=float, default=0.5)
-    query.add_argument("--alpha", type=float, default=0.5)
+    query.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="appearance-probability threshold (containment/similarity; "
+        "default 0.5)",
+    )
+    query.add_argument(
+        "--kind",
+        default="containment",
+        choices=["containment", "topk", "similarity"],
+        help="workload kind dispatched through QuerySpec/execute()",
+    )
+    query.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="answers to return for --kind topk",
+    )
+    query.add_argument(
+        "--edge-budget",
+        type=int,
+        default=None,
+        help="tolerated missing query edges for --kind similarity",
+    )
     query.add_argument("--seed", type=int, default=7)
     query.add_argument(
         "--workers",
@@ -467,6 +491,7 @@ def _run_query(args: argparse.Namespace) -> int:
     from .core.baseline import BaselineEngine, LinearScanEngine
     from .core.measure_engine import MeasureScanEngine
     from .core.query import IMGRNEngine
+    from .core.spec import QuerySpec
     from .data.queries import generate_query_workload
     from .data.synthetic import generate_database
     from .obs.exporters import (
@@ -498,19 +523,37 @@ def _run_query(args: argparse.Namespace) -> int:
     workload = generate_query_workload(
         database, args.n_q, count=args.queries, rng=args.seed
     )
+    kind = args.kind
+    alpha = args.alpha
+    if alpha is None and kind != "topk":
+        alpha = 0.5
+    edge_budget = args.edge_budget
+    if edge_budget is None and kind == "similarity":
+        edge_budget = 1
+    k = args.k
+    if k is None and kind == "topk":
+        k = 5
     total_answers = 0
     for index, query_matrix in enumerate(workload):
-        result = engine.query(query_matrix, gamma=args.gamma, alpha=args.alpha)
+        spec = QuerySpec(
+            query_matrix,
+            args.gamma,
+            alpha=alpha,
+            kind=kind,
+            k=k,
+            edge_budget=edge_budget,
+        )
+        result = engine.execute(spec)
         total_answers += len(result.answers)
         print(
-            f"query {index}: {query_matrix.num_genes} genes, "
+            f"query {index} [{kind}]: {query_matrix.num_genes} genes, "
             f"{result.query_graph.num_edges} query edges, "
             f"{result.stats.candidates} candidates, "
             f"{len(result.answers)} answers, "
             f"{result.stats.io_accesses} page accesses"
         )
     print(
-        f"{args.engine}: {len(workload)} queries over "
+        f"{args.engine}: {len(workload)} {kind} queries over "
         f"{len(database)} matrices, {total_answers} answers, "
         f"build {build_seconds:.3f}s"
     )

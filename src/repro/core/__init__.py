@@ -5,8 +5,12 @@ All four engines (:class:`~repro.core.query.IMGRNEngine`,
 :class:`~repro.core.baseline.LinearScanEngine`,
 :class:`~repro.core.measure_engine.MeasureScanEngine`) conform to the
 :class:`QueryEngine` protocol below: ``build()`` once, then
-``query(matrix, gamma=..., alpha=...)`` any number of times, always
-returning an :class:`~repro.core.query.IMGRNResult`.
+``execute(QuerySpec(...))`` any number of times, always returning an
+:class:`~repro.core.query.IMGRNResult`. The typed
+:class:`~repro.core.spec.QuerySpec` names the workload kind
+(``containment``, ``topk`` or ``similarity``) and validates its
+parameters eagerly; ``query()`` / ``query_topk()`` remain as thin
+keyword-only conveniences over ``execute()``.
 """
 
 from typing import Protocol, runtime_checkable
@@ -21,6 +25,7 @@ from .inference import EdgeProbabilityEstimator, edge_probability, infer_grn
 from .matching import Embedding, find_embeddings, matches
 from .probgraph import ProbabilisticGraph, edge_key
 from .query import IMGRNAnswer, IMGRNEngine, IMGRNResult
+from .spec import KINDS, QuerySpec, validate_query_params
 
 __all__ = [
     "QueryEngine",
@@ -38,6 +43,9 @@ __all__ = [
     "IMGRNAnswer",
     "IMGRNEngine",
     "IMGRNResult",
+    "KINDS",
+    "QuerySpec",
+    "validate_query_params",
 ]
 
 
@@ -46,12 +54,16 @@ class QueryEngine(Protocol):
     """The unified engine contract.
 
     Every engine exposes exactly this surface; downstream code (the CLI,
-    the evaluation harness, the ad-hoc framework) programs against it and
-    stays agnostic of which retrieval strategy is behind it.
+    the serving stack, the evaluation harness, the ad-hoc framework)
+    programs against it and stays agnostic of which retrieval strategy is
+    behind it.
 
-    Thresholds are keyword-only: ``query(matrix, gamma=0.9, alpha=0.5)``.
-    Engines still accept the historical positional form but emit a
-    :class:`DeprecationWarning` for it.
+    :meth:`execute` is the primary entry point: one typed
+    :class:`~repro.core.spec.QuerySpec` in, one
+    :class:`~repro.core.query.IMGRNResult` out, for every workload kind.
+    :meth:`query` is the containment convenience with keyword-only
+    thresholds; the historical positional form completed its deprecation
+    cycle and raises :class:`TypeError`.
     """
 
     @property
@@ -70,5 +82,9 @@ class QueryEngine(Protocol):
         gamma: float,
         alpha: float,
     ) -> IMGRNResult:
-        """Answer a Definition-4 IM-GRN query."""
+        """Answer a Definition-4 containment query."""
+        ...
+
+    def execute(self, spec: QuerySpec) -> IMGRNResult:
+        """Answer one typed workload (containment / topk / similarity)."""
         ...

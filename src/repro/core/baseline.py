@@ -24,7 +24,7 @@ import numpy as np
 from ..config import EngineConfig
 from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
-from ..errors import IndexNotBuiltError
+from ..errors import IndexNotBuiltError, ValidationError
 from ..eval.counters import QueryStats
 from ..obs import MetricsRegistry, Observability
 from ..obs import names as _names
@@ -35,8 +35,8 @@ from .probgraph import ProbabilisticGraph, edge_key
 from .pruning import (
     edge_inference_prunable,
     graph_existence_prunable,
-    graph_existence_upper_bound,
     markov_edge_upper_bound,
+    relaxed_graph_existence_upper_bound,
 )
 from .query import (
     IMGRNAnswer,
@@ -44,6 +44,7 @@ from .query import (
     _check_thresholds,
     _resolve_query_thresholds,
 )
+from .spec import QuerySpec
 from .standardize import standardize_matrix
 
 __all__ = ["BaselineEngine", "LinearScanEngine"]
@@ -259,6 +260,31 @@ class BaselineEngine:
         gamma: float | None = None,
         alpha: float | None = None,
     ) -> IMGRNResult:
+        """Containment query: thin wrapper over :meth:`execute`."""
+        gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
+        return self.execute(QuerySpec(query_matrix, gamma, alpha))
+
+    def query_topk(
+        self,
+        query_matrix: GeneFeatureMatrix,
+        *args: float,
+        gamma: float | None = None,
+        k: int | None = None,
+    ) -> IMGRNResult:
+        """Top-k query: thin wrapper over :meth:`execute`."""
+        if args:
+            raise TypeError(
+                "query_topk() no longer accepts positional arguments; call "
+                "query_topk(matrix, gamma=..., k=...) or "
+                "execute(QuerySpec(matrix, gamma, kind='topk', k=...)) instead"
+            )
+        if gamma is None or k is None:
+            raise TypeError(
+                "query_topk() missing required keyword arguments 'gamma' and 'k'"
+            )
+        return self.execute(QuerySpec(query_matrix, gamma, kind="topk", k=k))
+
+    def execute(self, spec: QuerySpec) -> IMGRNResult:
         """Scan the pre-computed store: materialize each GRN and match.
 
         Faithful to Section 6.1: for *every* matrix, the Baseline reads its
@@ -267,19 +293,34 @@ class BaselineEngine:
         runs the label-preserving subgraph match against ``Q``. The GRN
         materialization is what makes this engine slow -- exactly the cost
         the index avoids.
+
+        All three workload kinds reduce to the matcher here:
+        ``similarity`` passes ``spec.edge_budget`` through to
+        :func:`~repro.core.matching.best_embedding`, and ``topk`` matches
+        at ``alpha = 0`` then sorts by ``(-Pr{G}, source_id)`` and
+        truncates to ``k`` -- the post-hoc reference the indexed engine's
+        bound-aware top-k is verified against.
         """
-        gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
+        if not isinstance(spec, QuerySpec):
+            raise ValidationError(
+                f"execute() takes a QuerySpec, got {type(spec).__name__}"
+            )
         if self._store is None:
-            raise IndexNotBuiltError("call build() before query()")
-        _check_thresholds(gamma, alpha)
+            raise IndexNotBuiltError("call build() before execute()")
+        kind = spec.kind
+        gamma = spec.gamma
+        budget = spec.edge_budget or 0
+        match_alpha = 0.0 if kind == "topk" else spec.alpha
         metrics = MetricsRegistry()  # this query's private delta registry
         tracer = self.obs.tracer
         started = time.perf_counter()
-        with tracer.span("query", engine="baseline", gamma=gamma, alpha=alpha):
-            with tracer.span("query.infer", genes=query_matrix.num_genes):
+        with tracer.span(
+            "query", engine="baseline", kind=kind, gamma=gamma, alpha=spec.alpha
+        ):
+            with tracer.span("query.infer", genes=spec.matrix.num_genes):
                 infer_started = time.perf_counter()
                 query_graph = _infer_query_graph(
-                    query_matrix, gamma, self._inference
+                    spec.matrix, gamma, self._inference
                 )
                 _stage_timer(
                     metrics, "baseline", _names.STAGE_INFERENCE
@@ -297,13 +338,18 @@ class BaselineEngine:
                     )
                     candidates += 1
                     grn = self._materialize_grn(matrix, probs, gamma)
-                    embedding = best_embedding(query_graph, grn, alpha=alpha)
+                    embedding = best_embedding(
+                        query_graph, grn, alpha=match_alpha, edge_budget=budget
+                    )
                     if embedding is not None:
                         answers.append(
                             IMGRNAnswer(
                                 matrix.source_id, embedding, embedding.probability
                             )
                         )
+            if kind == "topk":
+                answers.sort(key=lambda a: (-a.probability, a.source_id))
+                del answers[spec.k :]
             _stage_timer(metrics, "baseline", _names.STAGE_RETRIEVE).observe(
                 time.perf_counter() - started
             )
@@ -319,7 +365,10 @@ class BaselineEngine:
                 _names.QUERY_ANSWERS, help="answers returned", engine="baseline"
             ).inc(len(answers))
             metrics.counter(
-                _names.QUERY_COUNT, help="queries answered", engine="baseline"
+                _names.QUERY_COUNT,
+                help="queries answered",
+                engine="baseline",
+                kind=kind,
             ).inc()
         delta = metrics.snapshot()
         self.obs.metrics.merge(metrics)
@@ -391,10 +440,52 @@ class LinearScanEngine:
         gamma: float | None = None,
         alpha: float | None = None,
     ) -> IMGRNResult:
+        """Containment query: thin wrapper over :meth:`execute`."""
         gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
+        return self.execute(QuerySpec(query_matrix, gamma, alpha))
+
+    def query_topk(
+        self,
+        query_matrix: GeneFeatureMatrix,
+        *args: float,
+        gamma: float | None = None,
+        k: int | None = None,
+    ) -> IMGRNResult:
+        """Top-k query: thin wrapper over :meth:`execute`."""
+        if args:
+            raise TypeError(
+                "query_topk() no longer accepts positional arguments; call "
+                "query_topk(matrix, gamma=..., k=...) or "
+                "execute(QuerySpec(matrix, gamma, kind='topk', k=...)) instead"
+            )
+        if gamma is None or k is None:
+            raise TypeError(
+                "query_topk() missing required keyword arguments 'gamma' and 'k'"
+            )
+        return self.execute(QuerySpec(query_matrix, gamma, kind="topk", k=k))
+
+    def execute(self, spec: QuerySpec) -> IMGRNResult:
+        """Scan + Section-3.2 pruning for one typed workload.
+
+        ``similarity`` counts *certainly missing* edges (Markov bound
+        ``<= gamma``) against ``spec.edge_budget`` instead of pruning on
+        the first one, and relaxes Lemma 5 via
+        :func:`~repro.core.pruning.relaxed_graph_existence_upper_bound`
+        with the leftover budget; refinement counts ``p <= gamma`` edges
+        the same way. ``topk`` filters and refines at ``alpha = 0``, then
+        sorts by ``(-Pr{G}, source_id)`` and truncates to ``k``.
+        """
+        if not isinstance(spec, QuerySpec):
+            raise ValidationError(
+                f"execute() takes a QuerySpec, got {type(spec).__name__}"
+            )
         if not self._standardized:
-            raise IndexNotBuiltError("call build() before query()")
-        _check_thresholds(gamma, alpha)
+            raise IndexNotBuiltError("call build() before execute()")
+        kind = spec.kind
+        gamma = spec.gamma
+        budget = spec.edge_budget or 0
+        # Top-k has no probability threshold: the ranking replaces it.
+        filter_alpha = 0.0 if kind == "topk" else spec.alpha
         metrics = MetricsRegistry()  # this query's private delta registry
         tracer = self.obs.tracer
         pruned_edge = metrics.counter(
@@ -411,12 +502,12 @@ class LinearScanEngine:
         )
         started = time.perf_counter()
         with tracer.span(
-            "query", engine="linear_scan", gamma=gamma, alpha=alpha
+            "query", engine="linear_scan", kind=kind, gamma=gamma, alpha=spec.alpha
         ):
-            with tracer.span("query.infer", genes=query_matrix.num_genes):
+            with tracer.span("query.infer", genes=spec.matrix.num_genes):
                 infer_started = time.perf_counter()
                 query_graph = _infer_query_graph(
-                    query_matrix, gamma, self._inference
+                    spec.matrix, gamma, self._inference
                 )
                 _stage_timer(
                     metrics, "linear_scan", _names.STAGE_INFERENCE
@@ -443,6 +534,7 @@ class LinearScanEngine:
                     std = self._standardized[matrix.source_id]
                     expected = math.sqrt(2.0 * matrix.num_samples)
                     bounds: list[float] = []
+                    missing = 0
                     pruned = False
                     for u, v in query_edges:
                         cu = matrix.column_index(u)
@@ -450,14 +542,21 @@ class LinearScanEngine:
                         distance = float(np.linalg.norm(std[:, cu] - std[:, cv]))
                         bound = markov_edge_upper_bound(distance, expected)
                         if edge_inference_prunable(bound, gamma):
-                            pruned = True
-                            break
+                            # Certainly missing: p <= bound <= gamma.
+                            missing += 1
+                            if missing > budget:
+                                pruned = True
+                                break
+                            continue
                         bounds.append(bound)
                     if pruned:
                         pruned_edge.inc()
                         continue
                     if graph_existence_prunable(
-                        graph_existence_upper_bound(bounds), alpha
+                        relaxed_graph_existence_upper_bound(
+                            bounds, budget - missing
+                        ),
+                        filter_alpha,
                     ):
                         pruned_existence.inc()
                         continue
@@ -483,15 +582,23 @@ class LinearScanEngine:
                     matrix = self.database.get(source)
                     probability = 1.0
                     matched = True
+                    missing = 0
                     for u, v in query_edges:
                         p = self._inference.pair_probability(
                             matrix.column(u), matrix.column(v)
                         )
                         if p <= gamma:
-                            matched = False
-                            break
+                            missing += 1
+                            if missing > budget:
+                                matched = False
+                                break
+                            continue  # absorbed by the budget
                         probability *= p
-                        if probability <= alpha:
+                        if kind == "topk":
+                            if probability == 0.0:
+                                matched = False
+                                break
+                        elif probability <= spec.alpha:
                             matched = False
                             break
                     if matched:
@@ -503,6 +610,9 @@ class LinearScanEngine:
                                 source, Embedding(mapping, probability), probability
                             )
                         )
+                if kind == "topk":
+                    answers.sort(key=lambda a: (-a.probability, a.source_id))
+                    del answers[spec.k :]
                 _stage_timer(
                     metrics, "linear_scan", _names.STAGE_REFINE
                 ).observe(time.perf_counter() - refine_start)
@@ -511,7 +621,10 @@ class LinearScanEngine:
                 _names.QUERY_ANSWERS, help="answers returned", engine="linear_scan"
             ).inc(len(answers))
             metrics.counter(
-                _names.QUERY_COUNT, help="queries answered", engine="linear_scan"
+                _names.QUERY_COUNT,
+                help="queries answered",
+                engine="linear_scan",
+                kind=kind,
             ).inc()
         delta = metrics.snapshot()
         self.obs.metrics.merge(metrics)

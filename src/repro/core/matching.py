@@ -62,6 +62,7 @@ def find_embeddings(
     alpha: float = 0.0,
     label_mode: str = "exact",
     max_embeddings: int | None = None,
+    edge_budget: int = 0,
 ) -> list[Embedding]:
     """All embeddings of ``query`` into ``data`` with ``Pr{G} > alpha``.
 
@@ -78,6 +79,11 @@ def find_embeddings(
         ``"exact"`` (labels preserved) or ``"ignore"`` (structure only).
     max_embeddings:
         Optional cap; the search stops once this many embeddings are found.
+    edge_budget:
+        Similarity relaxation (exact-label mode only): up to this many
+        query edges may be missing from ``data``; missing edges leave the
+        matched product untouched. ``0`` (the default) is exact
+        containment.
 
     Returns
     -------
@@ -90,13 +96,23 @@ def find_embeddings(
         raise ValidationError(
             f"label_mode must be 'exact' or 'ignore', got {label_mode!r}"
         )
+    if edge_budget < 0:
+        raise ValidationError(f"edge_budget must be >= 0, got {edge_budget}")
+    if edge_budget and label_mode != "exact":
+        raise ValidationError(
+            "edge_budget requires label_mode='exact' (unique labels pin "
+            "which query edges are missing; structural mode has no such "
+            "notion)"
+        )
     if query.num_vertices == 0:
         return []
     if query.num_vertices > data.num_vertices:
         return []
 
     if label_mode == "exact":
-        embeddings = _exact_label_embeddings(query, data, alpha)
+        embeddings = _exact_label_embeddings(
+            query, data, alpha, edge_budget=edge_budget
+        )
     else:
         embeddings = _backtracking_embeddings(query, data, alpha, max_embeddings)
 
@@ -111,9 +127,12 @@ def best_embedding(
     data: ProbabilisticGraph,
     alpha: float = 0.0,
     label_mode: str = "exact",
+    edge_budget: int = 0,
 ) -> Embedding | None:
     """The highest-probability embedding, or ``None`` if none qualifies."""
-    found = find_embeddings(query, data, alpha=alpha, label_mode=label_mode)
+    found = find_embeddings(
+        query, data, alpha=alpha, label_mode=label_mode, edge_budget=edge_budget
+    )
     return found[0] if found else None
 
 
@@ -122,10 +141,19 @@ def matches(
     data: ProbabilisticGraph,
     alpha: float = 0.0,
     label_mode: str = "exact",
+    edge_budget: int = 0,
 ) -> bool:
     """True iff some subgraph of ``data`` matches ``query`` above ``alpha``."""
     if label_mode == "exact":
-        return bool(_exact_label_embeddings(query, data, alpha))
+        return bool(
+            _exact_label_embeddings(query, data, alpha, edge_budget=edge_budget)
+        )
+    if edge_budget:
+        raise ValidationError(
+            "edge_budget requires label_mode='exact' (unique labels pin "
+            "which query edges are missing; structural mode has no such "
+            "notion)"
+        )
     return bool(_backtracking_embeddings(query, data, alpha, max_embeddings=1))
 
 
@@ -133,15 +161,29 @@ def matches(
 # Exact-label mode: unique labels force the mapping.
 # ----------------------------------------------------------------------
 def _exact_label_embeddings(
-    query: ProbabilisticGraph, data: ProbabilisticGraph, alpha: float
+    query: ProbabilisticGraph,
+    data: ProbabilisticGraph,
+    alpha: float,
+    edge_budget: int = 0,
 ) -> list[Embedding]:
+    """The forced-mapping embedding, tolerating ``edge_budget`` missing edges.
+
+    Unique labels force each query gene onto its namesake, so there is at
+    most one embedding: the product of present-edge probabilities, valid
+    when at most ``edge_budget`` query edges are absent from ``data`` and
+    the product stays above ``alpha``.
+    """
     for gene in query.gene_ids:
         if gene not in data:
             return []
     probability = 1.0
+    missing = 0
     for (u, v), _qp in query.edges():
         if not data.has_edge(u, v):
-            return []
+            missing += 1
+            if missing > edge_budget:
+                return []
+            continue  # absorbed by the budget; product unchanged
         probability *= data.edge_probability(u, v)
         if probability <= alpha:
             return []

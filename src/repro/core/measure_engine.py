@@ -40,6 +40,7 @@ from .query import (
     _resolve_query_thresholds,
 )
 from .randomization import content_seed
+from .spec import QuerySpec
 
 __all__ = ["MeasureScanEngine"]
 
@@ -164,9 +165,45 @@ class MeasureScanEngine:
     ) -> IMGRNResult:
         """Definition-4 answers under the configured measure."""
         gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
+        return self.execute(QuerySpec(query_matrix, gamma, alpha))
+
+    def query_topk(
+        self,
+        query_matrix: GeneFeatureMatrix,
+        *args: float,
+        gamma: float | None = None,
+        k: int | None = None,
+    ) -> IMGRNResult:
+        """Top-k query: thin wrapper over :meth:`execute`."""
+        if args:
+            raise TypeError(
+                "query_topk() no longer accepts positional arguments; call "
+                "query_topk(matrix, gamma=..., k=...) or "
+                "execute(QuerySpec(matrix, gamma, kind='topk', k=...)) instead"
+            )
+        if gamma is None or k is None:
+            raise TypeError(
+                "query_topk() missing required keyword arguments 'gamma' and 'k'"
+            )
+        return self.execute(QuerySpec(query_matrix, gamma, kind="topk", k=k))
+
+    def execute(self, spec: QuerySpec) -> IMGRNResult:
+        """Answer one typed workload under the configured measure.
+
+        The scan applies the same kind semantics as the Pearson engines:
+        ``similarity`` counts ``p <= gamma`` edges against
+        ``spec.edge_budget``, ``topk`` matches at ``alpha = 0`` then sorts
+        by ``(-Pr{G}, source_id)`` and truncates to ``k``.
+        """
+        if not isinstance(spec, QuerySpec):
+            raise ValidationError(
+                f"execute() takes a QuerySpec, got {type(spec).__name__}"
+            )
         if not self._built:
-            raise IndexNotBuiltError("call build() before query()")
-        _check_thresholds(gamma, alpha)
+            raise IndexNotBuiltError("call build() before execute()")
+        kind = spec.kind
+        gamma = spec.gamma
+        budget = spec.edge_budget or 0
         metrics = MetricsRegistry()  # this query's private delta registry
         tracer = self.obs.tracer
 
@@ -179,10 +216,12 @@ class MeasureScanEngine:
             )
 
         started = time.perf_counter()
-        with tracer.span("query", engine=_ENGINE, gamma=gamma, alpha=alpha):
-            with tracer.span("query.infer", genes=query_matrix.num_genes):
+        with tracer.span(
+            "query", engine=_ENGINE, kind=kind, gamma=gamma, alpha=spec.alpha
+        ):
+            with tracer.span("query.infer", genes=spec.matrix.num_genes):
                 infer_started = time.perf_counter()
-                query_graph = self.infer_query_graph(query_matrix, gamma)
+                query_graph = self.infer_query_graph(spec.matrix, gamma)
                 stage_timer(_names.STAGE_INFERENCE).observe(
                     time.perf_counter() - infer_started
                 )
@@ -209,16 +248,24 @@ class MeasureScanEngine:
                     candidates += 1
                     probability = 1.0
                     matched = True
+                    missing = 0
                     with refine:
                         for u, v in query_edges:
                             p = self._pair_probability(
                                 matrix.column(u), matrix.column(v)
                             )
                             if p <= gamma:
-                                matched = False
-                                break
+                                missing += 1
+                                if missing > budget:
+                                    matched = False
+                                    break
+                                continue  # absorbed by the budget
                             probability *= p
-                            if probability <= alpha:
+                            if kind == "topk":
+                                if probability == 0.0:
+                                    matched = False
+                                    break
+                            elif probability <= spec.alpha:
                                 matched = False
                                 break
                     if matched:
@@ -232,6 +279,9 @@ class MeasureScanEngine:
                                 probability,
                             )
                         )
+            if kind == "topk":
+                answers.sort(key=lambda a: (-a.probability, a.source_id))
+                del answers[spec.k :]
             stage_timer(_names.STAGE_REFINE).observe(refine.elapsed)
             stage_timer(_names.STAGE_RETRIEVE).observe(
                 time.perf_counter() - started - refine.elapsed
@@ -248,7 +298,10 @@ class MeasureScanEngine:
                 _names.QUERY_ANSWERS, help="answers returned", engine=_ENGINE
             ).inc(len(answers))
             metrics.counter(
-                _names.QUERY_COUNT, help="queries answered", engine=_ENGINE
+                _names.QUERY_COUNT,
+                help="queries answered",
+                engine=_ENGINE,
+                kind=kind,
             ).inc()
         delta = metrics.snapshot()
         self.obs.metrics.merge(metrics)

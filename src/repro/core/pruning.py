@@ -33,6 +33,7 @@ __all__ = [
     "edge_inference_prunable",
     "graph_existence_upper_bound",
     "graph_existence_prunable",
+    "relaxed_graph_existence_upper_bound",
     "pivot_edge_upper_bound",
     "pivot_pruning_condition",
     "index_pair_prunable",
@@ -89,6 +90,41 @@ def graph_existence_upper_bound(edge_upper_bounds: Iterable[float]) -> float:
             raise ValidationError(
                 f"edge upper bound must be in [0,1], got {bound}"
             )
+        product *= bound
+        if product == 0.0:
+            return 0.0
+    return product
+
+
+def relaxed_graph_existence_upper_bound(
+    edge_upper_bounds: Iterable[float], budget: int
+) -> float:
+    """Budget-aware Lemma 5 for similarity search.
+
+    A similarity candidate may still drop up to ``budget`` of its
+    *present* candidate edges during refinement (each could turn out to
+    have ``p <= gamma`` and be absorbed by the remaining edge budget), and
+    a dropped edge leaves the matched-product unchanged. The tightest
+    sound upper bound on the achievable matched probability is therefore
+    the product of the edge bounds *after discarding the ``budget``
+    smallest ones* -- discarding small factors maximizes the product, so
+    every reachable refinement outcome is dominated.
+
+    ``budget <= 0`` delegates to :func:`graph_existence_upper_bound`
+    verbatim (same multiplication order), so an exhausted budget is
+    bit-identical to the containment bound.
+    """
+    values = list(edge_upper_bounds)
+    if budget <= 0:
+        return graph_existence_upper_bound(values)
+    for bound in values:
+        if not 0.0 <= bound <= 1.0:
+            raise ValidationError(
+                f"edge upper bound must be in [0,1], got {bound}"
+            )
+    values.sort()
+    product = 1.0
+    for bound in values[min(budget, len(values)) :]:
         product *= bound
         if product == 0.0:
             return 0.0

@@ -24,7 +24,6 @@ import heapq
 import itertools
 import math
 import time
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,13 +54,14 @@ from .probgraph import ProbabilisticGraph, edge_key
 from .pruning import (
     edge_inference_prunable,
     graph_existence_prunable,
-    graph_existence_upper_bound,
     index_pair_prunable,
     index_pairs_prunable,
     markov_edge_upper_bound,
     pivot_edge_upper_bound,
+    relaxed_graph_existence_upper_bound,
 )
 from .randomization import expected_randomized_distance_jensen
+from .spec import QuerySpec
 from .standardize import standardize_matrix
 
 __all__ = ["IMGRNAnswer", "IMGRNResult", "IMGRNEngine"]
@@ -72,67 +72,24 @@ _ENGINE = "imgrn"
 def _resolve_query_thresholds(
     args: tuple, gamma: float | None, alpha: float | None
 ) -> tuple[float, float]:
-    """Back-compat shim for the unified ``query()`` signature.
+    """Enforce the keyword-only unified ``query()`` signature.
 
-    The :class:`repro.core.QueryEngine` protocol takes ``gamma`` and
-    ``alpha`` keyword-only; legacy positional thresholds still work but
-    emit a :class:`DeprecationWarning`.
+    The positional-threshold form completed its deprecation cycle (it
+    warned since the unified-API PR) and now raises :class:`TypeError`
+    with a migration hint.
     """
     if args:
-        if (
-            len(args) > 2
-            or gamma is not None
-            or (len(args) == 2 and alpha is not None)
-        ):
-            raise TypeError(
-                "query() takes gamma and alpha once each; got "
-                f"{len(args)} positional threshold(s) plus keyword(s)"
-            )
-        warnings.warn(
-            "passing gamma/alpha positionally to query() is deprecated; "
-            "use query(matrix, gamma=..., alpha=...)",
-            DeprecationWarning,
-            stacklevel=3,
+        raise TypeError(
+            "query() no longer accepts positional thresholds; call "
+            "query(matrix, gamma=..., alpha=...) or "
+            "execute(QuerySpec(matrix, gamma, alpha)) instead"
         )
-        gamma = args[0]
-        if len(args) == 2:
-            alpha = args[1]
     if gamma is None or alpha is None:
-        raise TypeError("query() missing required arguments 'gamma' and 'alpha'")
-    return float(gamma), float(alpha)
-
-
-def _resolve_topk_args(
-    args: tuple, gamma: float | None, k: int | None
-) -> tuple[float, int]:
-    """Back-compat shim for the unified ``query_topk()`` signature.
-
-    Mirrors :func:`_resolve_query_thresholds`: ``gamma`` and ``k`` are
-    keyword-only, the legacy positional ``(gamma, k)`` form still works
-    but emits a :class:`DeprecationWarning`.
-    """
-    if args:
-        if (
-            len(args) > 2
-            or gamma is not None
-            or (len(args) == 2 and k is not None)
-        ):
-            raise TypeError(
-                "query_topk() takes gamma and k once each; got "
-                f"{len(args)} positional argument(s) plus keyword(s)"
-            )
-        warnings.warn(
-            "passing gamma/k positionally to query_topk() is deprecated; "
-            "use query_topk(matrix, gamma=..., k=...)",
-            DeprecationWarning,
-            stacklevel=3,
+        raise TypeError(
+            "query() missing required keyword arguments 'gamma' and 'alpha'; "
+            "other workload kinds go through execute(QuerySpec(...))"
         )
-        gamma = args[0]
-        if len(args) == 2:
-            k = int(args[1])
-    if gamma is None or k is None:
-        raise TypeError("query_topk() missing required arguments 'gamma' and 'k'")
-    return float(gamma), int(k)
+    return float(gamma), float(alpha)
 
 
 def _check_thresholds(gamma: float, alpha: float | None = None) -> None:
@@ -547,34 +504,99 @@ class IMGRNEngine:
         gamma: float | None = None,
         alpha: float | None = None,
     ) -> IMGRNResult:
-        """Answer one IM-GRN query ``(M_Q, gamma, alpha)`` (Definition 4).
+        """Answer one containment query ``(M_Q, gamma, alpha)`` (Definition 4).
 
-        ``gamma``/``alpha`` are keyword-only under the unified
-        :class:`repro.core.QueryEngine` API; positional thresholds still
-        work with a :class:`DeprecationWarning`.
+        Thin wrapper over :meth:`execute` with a containment
+        :class:`~repro.core.spec.QuerySpec`. Thresholds are keyword-only;
+        the positional form completed its deprecation cycle and raises
+        :class:`TypeError` with a migration hint.
+        """
+        gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
+        return self.execute(QuerySpec(query_matrix, gamma, alpha))
+
+    def query_topk(
+        self,
+        query_matrix: GeneFeatureMatrix,
+        *args: float,
+        gamma: float | None = None,
+        k: int | None = None,
+    ) -> IMGRNResult:
+        """Top-k variant: the ``k`` matches with highest ``Pr{G}``.
+
+        Thin wrapper over :meth:`execute` with ``kind="topk"`` -- the
+        natural ranking interface for the biomarker / classification use
+        cases, where the analyst wants "the best supporting evidence"
+        rather than a threshold. ``gamma``/``k`` are keyword-only; the
+        positional form completed its deprecation cycle and raises
+        :class:`TypeError`.
+        """
+        if args:
+            raise TypeError(
+                "query_topk() no longer accepts positional arguments; call "
+                "query_topk(matrix, gamma=..., k=...) or "
+                "execute(QuerySpec(matrix, gamma, kind='topk', k=...)) instead"
+            )
+        if gamma is None or k is None:
+            raise TypeError(
+                "query_topk() missing required keyword arguments 'gamma' and 'k'"
+            )
+        return self.execute(QuerySpec(query_matrix, gamma, kind="topk", k=k))
+
+    def execute(self, spec: QuerySpec) -> IMGRNResult:
+        """Answer one typed :class:`~repro.core.spec.QuerySpec`.
+
+        The single pipeline behind all three workload kinds (Fig. 4):
+        infer -> traverse -> existence filter -> refine, with the filter
+        and refinement stages parameterized by ``spec.kind``:
+
+        * ``containment``: Lemma-5 filter at ``alpha``, exact refinement
+          of Definition 4.
+        * ``similarity``: the filter tolerates up to ``edge_budget``
+          *certainly missing* anchor edges per source and relaxes the
+          Lemma-5 product via
+          :func:`~repro.core.pruning.relaxed_graph_existence_upper_bound`;
+          refinement counts ``p <= gamma`` edges against the budget. When
+          the budget covers every anchor edge, sources invisible to the
+          traversal (all their anchor edges certainly missing) are
+          recovered from the exact gene-holder sets, so the search has no
+          false dismissals versus brute force.
+        * ``topk``: filter at ``alpha = 0``; refinement visits candidates
+          in descending upper-bound order while maintaining the running
+          k-th-best probability as a dynamic pruning bound (stage
+          ``topk_kth_bound``), so it refines no more candidates than the
+          post-hoc sort while returning bit-identical answers.
 
         The read path is reentrant: all per-query accounting lives in a
         private :class:`~repro.obs.MetricsRegistry` and a private
         :class:`~repro.index.pagemanager.PageCounter`, merged into the
         engine's shared registry at the end -- any number of threads may
-        call ``query()`` on one built engine concurrently and every
+        call ``execute()`` on one built engine concurrently and every
         result carries exactly its own stats.
         """
-        gamma, alpha = _resolve_query_thresholds(args, gamma, alpha)
+        if not isinstance(spec, QuerySpec):
+            raise ValidationError(
+                f"execute() takes a QuerySpec, got {type(spec).__name__}"
+            )
         if self.inverted_file is None or (
             self.tree is None and self.array_index is None
         ):
-            raise IndexNotBuiltError("call build() before query()")
-        _check_thresholds(gamma, alpha)
+            raise IndexNotBuiltError("call build() before execute()")
+        kind = spec.kind
+        gamma = spec.gamma
+        budget = spec.edge_budget or 0
+        # Top-k has no probability threshold: the ranking replaces it.
+        filter_alpha = 0.0 if kind == "topk" else spec.alpha
         local = MetricsRegistry()  # this query's private delta registry
         pages = self.pages.counter()  # this query's private I/O tally
         tracer = self.obs.tracer
         started = time.perf_counter()
-        with tracer.span("query", engine=_ENGINE, gamma=gamma, alpha=alpha):
-            with tracer.span("query.infer", genes=query_matrix.num_genes):
+        with tracer.span(
+            "query", engine=_ENGINE, kind=kind, gamma=gamma, alpha=spec.alpha
+        ):
+            with tracer.span("query.infer", genes=spec.matrix.num_genes):
                 infer_started = time.perf_counter()
                 query_graph = self.infer_query_graph(
-                    query_matrix, gamma, metrics=local
+                    spec.matrix, gamma, metrics=local
                 )
                 self._stage_timer(_names.STAGE_INFERENCE, local).observe(
                     time.perf_counter() - infer_started
@@ -583,10 +605,13 @@ class IMGRNEngine:
                 # Degenerate query: every edge-free query is contained (with
                 # empty-product probability 1) in any matrix holding its
                 # genes.
-                surviving_sources = self._sources_with_all_genes(
-                    query_graph.gene_ids
-                )
-                candidates = len(surviving_sources)
+                survivors = [
+                    (source, 1.0)
+                    for source in self._sources_with_all_genes(
+                        query_graph.gene_ids
+                    )
+                ]
+                candidates = len(survivors)
             else:
                 anchor = self._pick_anchor(query_graph)
                 neighbor_genes = sorted(query_graph.neighbors(anchor))
@@ -599,14 +624,34 @@ class IMGRNEngine:
                         anchor, neighbor_genes, gamma, pages=pages, metrics=local
                     )  # {(source_id, neighbor_gene): edge upper bound}
                 with tracer.span("query.filter", pairs=len(candidate_pairs)):
-                    surviving_sources = self._graph_existence_filter(
-                        candidate_pairs, neighbor_genes, alpha, metrics=local
+                    survivors = self._graph_existence_filter(
+                        candidate_pairs,
+                        neighbor_genes,
+                        filter_alpha,
+                        metrics=local,
+                        edge_budget=budget if kind == "similarity" else 0,
                     )
+                survivor_set = {source for source, _ub in survivors}
                 candidates = sum(
                     1
                     for (source, _g) in candidate_pairs
-                    if source in surviving_sources
+                    if source in survivor_set
                 )
+                if kind == "similarity" and budget >= len(neighbor_genes):
+                    # Discovery hole: a source with *every* anchor edge
+                    # certainly missing never enters candidate_pairs, yet
+                    # the budget absorbs all of them. Recover such sources
+                    # from the exact gene-holder sets with the vacuous
+                    # bound 1.0 (an empty relaxed product).
+                    seen = {source for source, _g in candidate_pairs}
+                    recovered = [
+                        (source, 1.0)
+                        for source in self._gene_holders(query_graph.gene_ids)
+                        if source not in seen
+                    ]
+                    if recovered:
+                        survivors = sorted(survivors + recovered)
+                        candidates += len(recovered)
             self._stage_timer(_names.STAGE_RETRIEVE, local).observe(
                 time.perf_counter() - started
             )
@@ -619,12 +664,28 @@ class IMGRNEngine:
                 engine=_ENGINE,
             ).inc(candidates)
             with tracer.span(
-                "query.refine", candidates=len(surviving_sources)
+                "query.refine", candidates=len(survivors)
             ) as refine_span:
                 refine_started = time.perf_counter()
-                answers = self._refine(
-                    query_graph, surviving_sources, gamma, alpha
-                )
+                if kind == "topk":
+                    answers = self._refine_topk(
+                        query_graph, survivors, gamma, spec.k, metrics=local
+                    )
+                elif kind == "similarity":
+                    answers = self._refine_similarity(
+                        query_graph,
+                        [source for source, _ub in survivors],
+                        gamma,
+                        spec.alpha,
+                        budget,
+                    )
+                else:
+                    answers = self._refine(
+                        query_graph,
+                        [source for source, _ub in survivors],
+                        gamma,
+                        spec.alpha,
+                    )
                 self._stage_timer(_names.STAGE_REFINE, local).observe(
                     time.perf_counter() - refine_started
                 )
@@ -633,41 +694,16 @@ class IMGRNEngine:
                 _names.QUERY_ANSWERS, help="answers returned", engine=_ENGINE
             ).inc(len(answers))
             local.counter(
-                _names.QUERY_COUNT, help="queries answered", engine=_ENGINE
+                _names.QUERY_COUNT,
+                help="queries answered",
+                engine=_ENGINE,
+                kind=kind,
             ).inc()
         delta = local.snapshot()
         self.obs.metrics.merge(local)
         return IMGRNResult(
             query_graph, answers, QueryStats.from_metrics(delta), metrics=delta
         )
-
-    def query_topk(
-        self,
-        query_matrix: GeneFeatureMatrix,
-        *args: float,
-        gamma: float | None = None,
-        k: int | None = None,
-    ) -> IMGRNResult:
-        """Top-k variant: the ``k`` matches with highest ``Pr{G}``.
-
-        Runs the Definition-4 pipeline with ``alpha = 0`` (no probability
-        cut-off) and keeps the ``k`` highest-probability answers -- the
-        natural ranking interface for the biomarker / classification use
-        cases, where the analyst wants "the best supporting evidence"
-        rather than a threshold.
-
-        ``gamma``/``k`` are keyword-only, aligned with :meth:`query` so
-        the serving layer dispatches both uniformly; the legacy positional
-        ``(gamma, k)`` form still works with a :class:`DeprecationWarning`.
-        """
-        gamma, k = _resolve_topk_args(args, gamma, k)
-        if k < 1:
-            raise ValidationError(f"k must be >= 1, got {k}")
-        result = self.query(query_matrix, gamma=gamma, alpha=0.0)
-        result.answers.sort(key=lambda a: (-a.probability, a.source_id))
-        del result.answers[k:]
-        result.stats.answers = len(result.answers)
-        return result
 
     def add_matrix(self, matrix: GeneFeatureMatrix) -> None:
         """Incrementally index one new data source.
@@ -1176,7 +1212,19 @@ class IMGRNEngine:
         alpha: float,
         *,
         metrics,
-    ) -> list[int]:
+        edge_budget: int = 0,
+    ) -> list[tuple[int, float]]:
+        """Lemma-5 filter; returns surviving ``(source, upper_bound)`` pairs.
+
+        With ``edge_budget > 0`` (similarity search) a source may be short
+        up to that many anchor edges: certainly-missing edges are paid out
+        of the budget first, and whatever budget remains relaxes the
+        Lemma-5 product via
+        :func:`~repro.core.pruning.relaxed_graph_existence_upper_bound`
+        (refinement may drop that many more edges, so the bound must
+        dominate every reachable outcome). ``edge_budget=0`` is the exact
+        containment filter.
+        """
         pruned_missing = metrics.counter(
             _names.QUERY_PRUNED,
             help="pairs discarded by pruning",
@@ -1192,18 +1240,34 @@ class IMGRNEngine:
         by_source: dict[int, dict[int, float]] = {}
         for (source, gene), bound in candidate_pairs.items():
             by_source.setdefault(source, {})[gene] = bound
-        survivors: list[int] = []
+        survivors: list[tuple[int, float]] = []
         needed = set(neighbor_genes)
         for source, bounds in sorted(by_source.items()):
-            if set(bounds) != needed:
+            missing = len(needed) - len(bounds)
+            if missing > edge_budget:
                 pruned_missing.inc()
-                continue  # some anchor edge has no surviving match
-            upper = graph_existence_upper_bound(bounds.values())
+                continue  # more anchor edges certainly missing than budgeted
+            upper = relaxed_graph_existence_upper_bound(
+                bounds.values(), edge_budget - missing
+            )
             if graph_existence_prunable(upper, alpha):
                 pruned_lemma5.inc()
                 continue
-            survivors.append(source)
+            survivors.append((source, upper))
         return survivors
+
+    def _gene_holders(self, gene_ids: tuple[int, ...]) -> list[int]:
+        """Sorted sources holding every gene, off the fastest exact path.
+
+        The array-backed view answers from its compacted leaf-entry rows
+        (one vectorized pass, see
+        :meth:`repro.index.arraystore.ArrayStore.sources_with_genes`);
+        engines without one fall back to the inverted file's exact sets.
+        Both are exact, so the result is representation-independent.
+        """
+        if self.array_index is not None:
+            return self.array_index.sources_with_genes(gene_ids)
+        return self._sources_with_all_genes(gene_ids)
 
     def _sources_with_all_genes(self, gene_ids: tuple[int, ...]) -> list[int]:
         """Indexed sources containing every query gene.
@@ -1255,4 +1319,121 @@ class IMGRNEngine:
             answers.append(
                 IMGRNAnswer(source, Embedding(mapping, probability), probability)
             )
+        return answers
+
+    def _refine_similarity(
+        self,
+        query_graph: ProbabilisticGraph,
+        candidate_sources: list[int],
+        gamma: float,
+        alpha: float,
+        edge_budget: int,
+    ) -> list[IMGRNAnswer]:
+        """Budget-aware exact verification for similarity search.
+
+        A source answers iff it holds every query gene, at most
+        ``edge_budget`` query edges are missing from its inferred GRN
+        (existence probability ``p <= gamma``), and the product of the
+        *matched* edges' probabilities exceeds ``alpha``. With
+        ``edge_budget=0`` this is exactly :meth:`_refine` (containment):
+        the first missing edge already overdraws the budget.
+        """
+        answers: list[IMGRNAnswer] = []
+        query_edges = [key for key, _p in query_graph.edges()]
+        for source in candidate_sources:
+            matrix = self.database.get(source)
+            if any(gene not in matrix for gene in query_graph.gene_ids):
+                continue
+            probability = 1.0
+            missing = 0
+            matched = True
+            for u, v in query_edges:
+                p = self._inference.pair_probability(
+                    matrix.column(u), matrix.column(v)
+                )
+                if p <= gamma:  # the edge does not exist in G_i
+                    missing += 1
+                    if missing > edge_budget:
+                        matched = False
+                        break
+                    continue  # absorbed by the budget; product unchanged
+                probability *= p
+                if probability <= alpha:
+                    matched = False  # the matched product can only shrink
+                    break
+            if not matched:
+                continue
+            mapping = tuple((g, g) for g in sorted(query_graph.gene_ids))
+            answers.append(
+                IMGRNAnswer(source, Embedding(mapping, probability), probability)
+            )
+        return answers
+
+    def _refine_topk(
+        self,
+        query_graph: ProbabilisticGraph,
+        survivors: list[tuple[int, float]],
+        gamma: float,
+        k: int,
+        *,
+        metrics,
+    ) -> list[IMGRNAnswer]:
+        """Index-aware top-k refinement with a running k-th-best bound.
+
+        Visits candidates in descending Lemma-5 upper-bound order (ties
+        by source ID) while a min-heap tracks the ``k`` highest exact
+        probabilities computed so far. Once ``k`` answers exist, a
+        candidate whose upper bound is *strictly* below the running
+        k-th-best probability cannot reach the top-k (its true
+        probability is at most the bound, and ``k`` answers strictly
+        exceed it), so it is skipped without touching the raw data --
+        counted under pruning stage ``topk_kth_bound``. Inside a
+        refinement, the running product is itself an upper bound on the
+        final probability, so it early-exits under the same strict
+        comparison. Strictness preserves the ``(-probability,
+        source_id)`` tie order: the returned answers are bit-identical
+        to the first ``k`` of the post-hoc ``alpha=0`` sort.
+        """
+        pruned_kth = metrics.counter(
+            _names.QUERY_PRUNED,
+            help="pairs discarded by pruning",
+            engine=_ENGINE,
+            stage="topk_kth_bound",
+        )
+        query_edges = [key for key, _p in query_graph.edges()]
+        best: list[float] = []  # min-heap of the k highest probabilities
+        answers: list[IMGRNAnswer] = []
+        for source, upper in sorted(survivors, key=lambda su: (-su[1], su[0])):
+            bounded = len(best) >= k
+            kth_best = best[0] if bounded else 0.0
+            if bounded and upper < kth_best:
+                pruned_kth.inc()
+                continue
+            matrix = self.database.get(source)
+            if any(gene not in matrix for gene in query_graph.gene_ids):
+                continue
+            probability = 1.0
+            matched = True
+            for u, v in query_edges:
+                p = self._inference.pair_probability(
+                    matrix.column(u), matrix.column(v)
+                )
+                if p <= gamma:  # the edge does not exist in G_i
+                    matched = False
+                    break
+                probability *= p
+                if probability == 0.0 or (bounded and probability < kth_best):
+                    matched = False
+                    break
+            if not matched:
+                continue
+            mapping = tuple((g, g) for g in sorted(query_graph.gene_ids))
+            answers.append(
+                IMGRNAnswer(source, Embedding(mapping, probability), probability)
+            )
+            heapq.heappush(best, probability)
+            if len(best) > k:
+                heapq.heappop(best)
+        answers.sort(key=lambda a: (-a.probability, a.source_id))
+        del answers[k:]
         return answers

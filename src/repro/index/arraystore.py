@@ -50,7 +50,13 @@ import numpy as np
 
 from ..errors import ValidationError
 
-__all__ = ["ArrayStore", "int_to_words", "words_to_int", "signature_words"]
+__all__ = [
+    "ArrayStore",
+    "int_to_words",
+    "words_to_int",
+    "signature_words",
+    "min_dist_many",
+]
 
 #: On-disk format version (bump on any layout change).
 FORMAT_VERSION = 1
@@ -392,6 +398,35 @@ class ArrayStore:
                 )
                 stack.extend(start + int(i) for i in np.nonzero(hits)[0])
         return results
+
+    def sources_with_genes(self, gene_ids) -> list[int]:
+        """Sorted source IDs whose leaf entries cover *every* given gene.
+
+        The relaxed-signature test of the similarity workload's recovery
+        path: when the edge budget covers all of a query's anchor edges,
+        any source holding the query genes is a candidate even if the
+        traversal never surfaced it. One vectorized membership pass over
+        the compacted ``entry_gene_ids`` / ``entry_source_ids`` rows per
+        gene -- exact (no hash signatures involved), charges no pages
+        (the entry arrays are the leaf level itself).
+        """
+        sources: np.ndarray | None = None
+        for gene in gene_ids:
+            holders = np.unique(
+                self.entry_source_ids[self.entry_gene_ids == int(gene)]
+            )
+            if holders.size == 0:
+                return []
+            sources = (
+                holders
+                if sources is None
+                else np.intersect1d(sources, holders, assume_unique=True)
+            )
+            if sources.size == 0:
+                return []
+        if sources is None:
+            return []
+        return [int(source) for source in sources]
 
     def nearest(
         self, point, k: int = 1, pages=None

@@ -6,8 +6,13 @@ have to guess a spelling. The full taxonomy (labels, units, which stage
 observes what) is documented in ``docs/observability.md``.
 
 Counters carry an ``engine`` label (``imgrn``, ``baseline``,
-``linear_scan``, ``measure_scan``); ``query.pruned_pairs`` additionally
-carries a ``stage`` label naming the pruning rule that fired. The
+``linear_scan``, ``measure_scan``); ``query.count`` additionally
+carries a ``kind`` label naming the workload
+(``containment`` / ``topk`` / ``similarity``), and
+``query.pruned_pairs`` a ``stage`` label naming the pruning rule that
+fired -- including ``missing_edge`` (more certainly-missing edges than
+the kind's edge budget allows) and ``topk_kth_bound`` (top-k: upper
+bound strictly below the running k-th best probability). The
 ``serve.*`` series belong to :class:`repro.serve.QueryServer` and the
 network daemon (:mod:`repro.serve.daemon`) and carry the wrapped
 engine's label; ``serve.queries`` adds a ``status`` label (``ok`` /

@@ -103,23 +103,41 @@ class DaemonClient:
         self,
         matrix: GeneFeatureMatrix,
         gamma: float,
-        alpha: float,
+        alpha: float | None = None,
+        *,
+        kind: str = "containment",
+        k: int | None = None,
+        edge_budget: int | None = None,
     ) -> dict:
         """Run one IM-GRN query; returns the structured outcome dict.
 
+        The workload ``kind`` mirrors :class:`repro.core.QuerySpec`:
+        ``containment`` (the default) takes ``alpha``; ``topk`` takes
+        ``k`` (and no ``alpha``); ``similarity`` takes ``alpha`` and
+        ``edge_budget``. Only the parameters the kind uses are sent, so
+        the daemon's single-source validation decides what is legal.
+
         ``status`` is one of ``ok`` / ``error`` / ``timeout`` / ``shed``
-        / ``rate_limited``; ``ok`` outcomes carry ``sources``,
-        ``answers`` and per-query ``stats``. Degraded outcomes come back
-        as payloads (with the matching HTTP code), not exceptions, so
-        load-test loops can tally them without try/except.
+        / ``rate_limited``; ``ok`` outcomes carry the echoed ``kind``,
+        ``sources``, ``answers`` and per-query ``stats``. Degraded
+        outcomes come back as payloads (with the matching HTTP code),
+        not exceptions, so load-test loops can tally them without
+        try/except.
         """
         payload = {
             "values": matrix.values.tolist(),
             "gene_ids": list(matrix.gene_ids),
             "source_id": matrix.source_id,
             "gamma": float(gamma),
-            "alpha": float(alpha),
         }
+        if kind != "containment":
+            payload["kind"] = kind
+        if alpha is not None:
+            payload["alpha"] = float(alpha)
+        if k is not None:
+            payload["k"] = int(k)
+        if edge_budget is not None:
+            payload["edge_budget"] = int(edge_budget)
         _code, outcome = self._request("POST", "/query", payload)
         return outcome
 

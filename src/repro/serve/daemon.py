@@ -38,9 +38,13 @@ The serving pipeline, front to back:
 
 The wire protocol is deliberately small (see ``docs/daemon.md``):
 ``POST /query`` with a JSON body carrying ``values`` / ``gene_ids`` /
-``gamma`` / ``alpha``; ``GET /healthz``, ``GET /stats``,
-``GET /metrics``; ``POST /reload``. :class:`repro.serve.client`'s
-``DaemonClient`` wraps it with stdlib ``http.client``.
+``gamma`` plus the workload fields of its ``kind`` -- ``alpha``
+(containment / similarity), ``k`` (topk), ``edge_budget`` (similarity);
+``kind`` defaults to ``containment`` so schema-1 clients keep working.
+Responses carry ``"schema": 2`` and echo the ``kind``. ``GET
+/healthz``, ``GET /stats``, ``GET /metrics``; ``POST /reload``.
+:class:`repro.serve.client`'s ``DaemonClient`` wraps it with stdlib
+``http.client``.
 """
 
 from __future__ import annotations
@@ -64,7 +68,7 @@ import numpy as np
 
 from ..config import DaemonConfig
 from ..core.persistence import load_engine_sharded, sharded_save_fingerprint
-from ..core.query import _check_thresholds
+from ..core.spec import QuerySpec, validate_query_params
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import ReproError, ValidationError
 from ..obs import Observability
@@ -105,23 +109,40 @@ _STATUS_CODES = {
 # ----------------------------------------------------------------------
 # Worker side: runs in a forked process (or an executor thread)
 # ----------------------------------------------------------------------
+def _spec_from_request(request: dict) -> QuerySpec:
+    """Build the typed :class:`QuerySpec` a ``/query`` body describes.
+
+    ``kind`` defaults to ``containment`` (the schema-1 wire format),
+    and the per-kind parameter rules are enforced by the spec's own
+    eager validation -- the daemon never re-states them.
+    """
+    matrix = GeneFeatureMatrix(
+        np.asarray(request["values"], dtype=np.float64),
+        [int(g) for g in request["gene_ids"]],
+        source_id=int(request.get("source_id", 0)),
+    )
+    return QuerySpec(
+        matrix,
+        request["gamma"],
+        alpha=request.get("alpha"),
+        kind=str(request.get("kind", "containment")),
+        k=request.get("k"),
+        edge_budget=request.get("edge_budget"),
+    )
+
+
 def _answer(engine: Any, request: dict) -> dict:
     """Execute one query request against ``engine``; never raises.
 
     Shared by both backends: the forked worker's recv/send loop and the
     thread backend's executor call both funnel through here, so the two
-    produce byte-identical response bodies for the same request.
+    produce byte-identical response bodies for the same request. All
+    three workload kinds dispatch through ``engine.execute(spec)``.
     """
     started = time.perf_counter()
     try:
-        matrix = GeneFeatureMatrix(
-            np.asarray(request["values"], dtype=np.float64),
-            [int(g) for g in request["gene_ids"]],
-            source_id=int(request.get("source_id", 0)),
-        )
-        result = engine.query(
-            matrix, gamma=float(request["gamma"]), alpha=float(request["alpha"])
-        )
+        spec = _spec_from_request(request)
+        result = engine.execute(spec)
     except Exception as exc:  # structured error, not a dead worker
         return {
             "status": "error",
@@ -131,6 +152,8 @@ def _answer(engine: Any, request: dict) -> dict:
     stats = result.stats
     return {
         "status": "ok",
+        "schema": 2,
+        "kind": spec.kind,
         "sources": result.answer_sources(),
         "answers": [
             {"source_id": a.source_id, "probability": a.probability}
@@ -761,10 +784,24 @@ class QueryDaemon:
             request = json.loads(body)
             if not isinstance(request, dict):
                 raise ValidationError("request body must be a JSON object")
-            for key in ("values", "gene_ids", "gamma", "alpha"):
+            kind = str(request.get("kind", "containment"))
+            required = ["values", "gene_ids", "gamma"]
+            if kind in ("containment", "similarity"):
+                required.append("alpha")
+            if kind == "topk":
+                required.append("k")
+            if kind == "similarity":
+                required.append("edge_budget")
+            for key in required:
                 if key not in request:
                     raise ValidationError(f"missing field {key!r}")
-            _check_thresholds(float(request["gamma"]), float(request["alpha"]))
+            validate_query_params(
+                kind,
+                request["gamma"],
+                alpha=request.get("alpha"),
+                k=request.get("k"),
+                edge_budget=request.get("edge_budget"),
+            )
         except (ValueError, TypeError, ValidationError) as exc:
             payload = self._finish(
                 {"status": "error", "error": f"bad request: {exc}"}, started

@@ -7,10 +7,12 @@ on a ``ThreadPoolExecutor``, each with
 * a **per-query deadline** measured from submission (queue wait counts),
 * **bounded retry with exponential backoff** on configurable transient
   failure types,
-* an **LRU result cache** keyed on ``(matrix fingerprint, gamma,
-  alpha)`` -- the same content fingerprint the persistence layer trusts
-  for embedding reuse, so a hit is guaranteed to be the exact result the
-  engine would recompute, and
+* an **LRU result cache** keyed on the canonical
+  :meth:`~repro.core.spec.QuerySpec.cache_key` -- the matrix content
+  fingerprint plus *every* workload parameter (kind, gamma, alpha, k,
+  edge_budget), so a hit is guaranteed to be the exact result the
+  engine would recompute and two kinds sharing thresholds can never
+  collide, and
 * **graceful degradation**: a timed-out or failed query yields a
   structured :class:`QueryOutcome` carrying its status, attempt count
   and elapsed seconds instead of poisoning the rest of the batch.
@@ -33,7 +35,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
 
-from ..core.query import IMGRNResult, _check_thresholds
+from ..core.query import IMGRNResult
+from ..core.spec import QuerySpec
 from ..data.matrix import GeneFeatureMatrix
 from ..errors import ReproError, ValidationError
 from ..obs import Observability
@@ -62,6 +65,12 @@ def _engine_label(engine: object) -> str:
     return _ENGINE_LABELS.get(name, name.lower())
 
 
+def _reject_spec(obj: object) -> QuerySpec:
+    raise ValidationError(
+        f"expected a QuerySpec, got {type(obj).__name__}"
+    )
+
+
 class TransientError(ReproError, RuntimeError):
     """A failure worth retrying (flaky storage, racing rebuild, ...).
 
@@ -69,18 +78,6 @@ class TransientError(ReproError, RuntimeError):
     from engine wrappers (or list additional exception types in the
     config) to opt a failure mode into the server's retry policy.
     """
-
-
-@dataclass(frozen=True)
-class QuerySpec:
-    """One query of a batch: the matrix plus its Definition-4 thresholds."""
-
-    matrix: GeneFeatureMatrix
-    gamma: float
-    alpha: float
-
-    def cache_key(self) -> tuple[str, float, float]:
-        return (self.matrix.fingerprint(), float(self.gamma), float(self.alpha))
 
 
 @dataclass(frozen=True)
@@ -180,12 +177,14 @@ class QueryOutcome:
 class ResultCache:
     """Thread-safe LRU of :class:`IMGRNResult` keyed by query content.
 
-    Keys are ``(matrix fingerprint, gamma, alpha)``; the threshold pair
-    is part of the key because both the inferred query graph and the
-    answer set depend on it. Hits return a shallow copy (fresh answers
-    list, fresh stats, fresh metrics dict) so callers that mutate a
-    result -- e.g. ``query_topk`` truncating answers -- cannot corrupt
-    the cached original.
+    Keys are the canonical :meth:`QuerySpec.cache_key` tuple -- the
+    matrix content fingerprint plus *every* workload parameter
+    ``(kind, gamma, alpha, k, edge_budget)``. Keying on the full spec
+    (not just thresholds) is what keeps a top-k or similarity query from
+    colliding with a containment query that happens to share fingerprint
+    and gamma. Hits return a shallow copy (fresh answers list, fresh
+    stats, fresh metrics dict) so callers that mutate a result cannot
+    corrupt the cached original.
     """
 
     def __init__(self, max_entries: int = 1024):
@@ -356,9 +355,13 @@ class QueryServer:
         """
         if self._closed:
             raise ValidationError("QueryServer is closed")
-        specs = list(specs)
-        for spec in specs:  # validate everything before dispatch
-            _check_thresholds(spec.gamma, spec.alpha)
+        # Specs validate eagerly at construction (QuerySpec.__post_init__),
+        # so materializing the iterable is all the pre-dispatch checking a
+        # malformed query needs to surface before anything is submitted.
+        specs = [
+            spec if isinstance(spec, QuerySpec) else _reject_spec(spec)
+            for spec in specs
+        ]
         deadline = (
             self.config.timeout_seconds if timeout is None else float(timeout)
         )
@@ -484,9 +487,7 @@ class QueryServer:
                     query=index,
                     attempt=attempts,
                 ):
-                    result = self.engine.query(
-                        spec.matrix, gamma=spec.gamma, alpha=spec.alpha
-                    )
+                    result = self.engine.execute(spec)
             except config.transient_errors as exc:
                 if attempts > config.max_retries:
                     return QueryOutcome(

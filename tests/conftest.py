@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import EngineConfig, GeneFeatureDatabase, GeneFeatureMatrix, IMGRNEngine
+from repro import (
+    BaselineEngine,
+    EngineConfig,
+    GeneFeatureDatabase,
+    GeneFeatureMatrix,
+    IMGRNEngine,
+)
 from repro.config import SyntheticConfig
 from repro.data.queries import generate_query_workload
 from repro.data.synthetic import generate_database
@@ -31,6 +37,14 @@ def small_database() -> GeneFeatureDatabase:
 def built_engine(small_database: GeneFeatureDatabase) -> IMGRNEngine:
     """The indexed engine over ``small_database`` (built once per session)."""
     engine = IMGRNEngine(small_database, TEST_CONFIG)
+    engine.build()
+    return engine
+
+
+@pytest.fixture(scope="session")
+def baseline_engine(small_database: GeneFeatureDatabase) -> BaselineEngine:
+    """The exhaustive reference engine over ``small_database``."""
+    engine = BaselineEngine(small_database, TEST_CONFIG)
     engine.build()
     return engine
 

@@ -103,4 +103,4 @@ class TestEngine:
     def test_query_before_build(self, rng):
         engine = AdHocMatchEngine([random_collection(0, rng)])
         with pytest.raises(IndexNotBuiltError):
-            engine.query(random_collection(9, rng), 0.5, 0.5)
+            engine.query(random_collection(9, rng), gamma=0.5, alpha=0.5)

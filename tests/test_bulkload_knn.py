@@ -91,8 +91,8 @@ class TestBulkLoad:
         bulk.tree.check_invariants()
         for query in query_workload:
             assert (
-                bulk.query(query, 0.5, 0.2).answer_sources()
-                == incremental.query(query, 0.5, 0.2).answer_sources()
+                bulk.query(query, gamma=0.5, alpha=0.2).answer_sources()
+                == incremental.query(query, gamma=0.5, alpha=0.2).answer_sources()
             )
 
 

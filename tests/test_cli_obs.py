@@ -47,7 +47,7 @@ class TestQuerySubcommand:
             "query.refine",
         } <= span_names
         out = capsys.readouterr().out
-        assert "1 queries over 6 matrices" in out
+        assert "1 containment queries over 6 matrices" in out
 
     def test_metrics_and_prometheus_out(self, tmp_path):
         metrics_path = tmp_path / "metrics.json"
@@ -67,7 +67,10 @@ class TestQuerySubcommand:
         assert "query.io_accesses" in names
         assert "query.stage_seconds" in names
         prom = prom_path.read_text(encoding="utf-8")
-        assert 'imgrn_query_count_total{engine="imgrn"} 1' in prom
+        assert (
+            'imgrn_query_count_total{engine="imgrn",kind="containment"} 1'
+            in prom
+        )
 
     @pytest.mark.parametrize("engine", ["linear-scan", "baseline"])
     def test_other_engines(self, engine, capsys):
@@ -85,7 +88,7 @@ class TestStatsSubcommand:
     def test_table(self, metrics_file, capsys):
         assert main(["stats", str(metrics_file)]) == 0
         out = capsys.readouterr().out
-        assert 'query.count{engine="imgrn"}' in out
+        assert 'query.count{engine="imgrn",kind="containment"}' in out
 
     def test_json(self, metrics_file, capsys):
         assert main(["stats", str(metrics_file), "--format", "json"]) == 0

@@ -62,6 +62,9 @@ class _SlowEngine:
             time.sleep(self.sleep_seconds)
         return IMGRNResult(None, [], QueryStats(answers=0))
 
+    def execute(self, spec: QuerySpec) -> IMGRNResult:
+        return self.query(spec.matrix, gamma=spec.gamma, alpha=spec.alpha)
+
 
 @pytest.fixture(scope="module")
 def sharded_dir(built_engine, tmp_path_factory) -> Path:
@@ -165,6 +168,47 @@ class TestBitIdentity:
                         assert out["stats"][field_name] == getattr(
                             ref.result.stats, field_name
                         ), field_name
+            finally:
+                client.close()
+
+    def test_all_kinds_roundtrip_bit_identical(
+        self, built_engine: IMGRNEngine, sharded_dir, query_workload
+    ):
+        """Each workload kind through the wire == in-process execute()."""
+        matrix = query_workload[0]
+        specs = [
+            QuerySpec(matrix, 0.5, 0.2),
+            QuerySpec(matrix, 0.5, kind="topk", k=3),
+            QuerySpec(matrix, 0.5, 0.2, kind="similarity", edge_budget=1),
+        ]
+        reference = [built_engine.execute(spec) for spec in specs]
+        daemon = QueryDaemon(
+            index_dir=sharded_dir,
+            config=DaemonConfig(workers=2, backend="process"),
+        )
+        with _serve(daemon) as handle:
+            client = DaemonClient("127.0.0.1", handle.port)
+            try:
+                for spec, ref in zip(specs, reference):
+                    out = client.query(
+                        spec.matrix,
+                        gamma=spec.gamma,
+                        alpha=spec.alpha,
+                        kind=spec.kind,
+                        k=spec.k,
+                        edge_budget=spec.edge_budget,
+                    )
+                    assert out["status"] == "ok", out
+                    assert out["schema"] == 2
+                    assert out["kind"] == spec.kind
+                    assert out["sources"] == ref.answer_sources()
+                    got = [
+                        (a["source_id"], a["probability"])
+                        for a in out["answers"]
+                    ]
+                    assert got == [
+                        (a.source_id, a.probability) for a in ref.answers
+                    ]
             finally:
                 client.close()
 
@@ -274,6 +318,30 @@ class TestAdmission:
                     },
                 )
                 assert code == 400
+                code, payload = client._request(
+                    "POST",
+                    "/query",
+                    {
+                        "values": [[1.0]],
+                        "gene_ids": [0],
+                        "gamma": 0.5,
+                        "kind": "regex",  # unknown workload kind
+                    },
+                )
+                assert code == 400
+                assert "kind" in payload["error"]
+                code, payload = client._request(
+                    "POST",
+                    "/query",
+                    {
+                        "values": [[1.0]],
+                        "gene_ids": [0],
+                        "gamma": 0.5,
+                        "kind": "topk",  # k is required for topk
+                    },
+                )
+                assert code == 400
+                assert "missing field 'k'" in payload["error"]
                 code, _payload = client._request("GET", "/nope")
                 assert code == 404
                 code, _payload = client._request("GET", "/query")

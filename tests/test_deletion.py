@@ -123,23 +123,23 @@ class TestEngineRemoval:
     def test_removed_source_never_answers(self, fresh_engine, query_workload):
         query = query_workload[0]
         target = query.source_id
-        before = fresh_engine.query(query, 0.5, 0.0).answer_sources()
+        before = fresh_engine.query(query, gamma=0.5, alpha=0.0).answer_sources()
         assert target in before
         fresh_engine.remove_matrix(target)
-        after = fresh_engine.query(query, 0.5, 0.0).answer_sources()
+        after = fresh_engine.query(query, gamma=0.5, alpha=0.0).answer_sources()
         assert target not in after
         assert set(after) <= set(before)
 
     def test_other_sources_unaffected(self, fresh_engine, query_workload):
         query = query_workload[1]
-        before = set(fresh_engine.query(query, 0.5, 0.0).answer_sources())
+        before = set(fresh_engine.query(query, gamma=0.5, alpha=0.0).answer_sources())
         victim = next(
             s for s in fresh_engine.database.source_ids
             if s not in before and s != query.source_id
         )
         fresh_engine.remove_matrix(victim)
         fresh_engine.tree.check_invariants()
-        after = set(fresh_engine.query(query, 0.5, 0.0).answer_sources())
+        after = set(fresh_engine.query(query, gamma=0.5, alpha=0.0).answer_sources())
         assert after == before
 
     def test_remove_unknown_source(self, fresh_engine):
@@ -172,14 +172,14 @@ class TestEngineRemoval:
             rng=np.random.default_rng(99),
         )
         baseline = [
-            fresh_engine.query(q, 0.5, 0.2).answer_sources()
+            fresh_engine.query(q, gamma=0.5, alpha=0.2).answer_sources()
             for q in query_workload
         ]
         fresh_engine.add_matrix(new_matrix)
         fresh_engine.remove_matrix(777)
         fresh_engine.tree.check_invariants()
         after = [
-            fresh_engine.query(q, 0.5, 0.2).answer_sources()
+            fresh_engine.query(q, gamma=0.5, alpha=0.2).answer_sources()
             for q in query_workload
         ]
         assert after == baseline

@@ -23,7 +23,7 @@ class TestQueryGenesAbsentFromDatabase:
         query = GeneFeatureMatrix(
             rng.normal(size=(10, 3)), [9001, 9002, 9003], 0
         )
-        result = built_engine.query(query, 0.5, 0.0)
+        result = built_engine.query(query, gamma=0.5, alpha=0.0)
         assert result.answers == []
 
     def test_query_with_partially_known_genes(self, built_engine, small_database, rng):
@@ -31,7 +31,7 @@ class TestQueryGenesAbsentFromDatabase:
         query = GeneFeatureMatrix(
             rng.normal(size=(10, 2)), [known, 9999], 0
         )
-        result = built_engine.query(query, 0.5, 0.0)
+        result = built_engine.query(query, gamma=0.5, alpha=0.0)
         assert result.answers == []
 
 
@@ -43,7 +43,7 @@ class TestDegenerateShapes:
         engine = IMGRNEngine(GeneFeatureDatabase([matrix]), TEST_CONFIG)
         engine.build()
         query = matrix.submatrix([0, 1, 2])
-        result = engine.query(query, 0.2, 0.0)
+        result = engine.query(query, gamma=0.2, alpha=0.0)
         assert result.answer_sources() == [0]
 
     def test_two_gene_matrices(self, rng):
@@ -54,14 +54,14 @@ class TestDegenerateShapes:
         engine = IMGRNEngine(GeneFeatureDatabase(matrices), TEST_CONFIG)
         engine.build()
         query = matrices[0].submatrix([0, 1])
-        result = engine.query(query, 0.2, 0.0)
+        result = engine.query(query, gamma=0.2, alpha=0.0)
         assert 0 in result.answer_sources()
 
     def test_minimum_sample_count(self, rng):
         matrix = GeneFeatureMatrix(rng.normal(size=(3, 4)), list(range(4)), 0)
         engine = IMGRNEngine(GeneFeatureDatabase([matrix]), TEST_CONFIG)
         engine.build()
-        result = engine.query(matrix.submatrix([0, 1]), 0.2, 0.0)
+        result = engine.query(matrix.submatrix([0, 1]), gamma=0.2, alpha=0.0)
         assert result.answer_sources() == [0]
 
     def test_identical_columns_pair(self, rng):
@@ -82,7 +82,7 @@ class TestDegenerateShapes:
         )
         engine.build()
         engine.tree.check_invariants()
-        result = engine.query(matrices[1].submatrix([0, 1]), 0.2, 0.0)
+        result = engine.query(matrices[1].submatrix([0, 1]), gamma=0.2, alpha=0.0)
         assert 1 in result.answer_sources()
 
 
@@ -90,14 +90,14 @@ class TestThresholdExtremes:
     def test_gamma_zero_keeps_all_positive_probability_edges(
         self, built_engine, query_workload
     ):
-        result = built_engine.query(query_workload[0], 0.0, 0.0)
+        result = built_engine.query(query_workload[0], gamma=0.0, alpha=0.0)
         # gamma=0: every pair with p > 0 is a query edge -> dense query.
         n = query_workload[0].num_genes
         assert result.query_graph.num_edges <= n * (n - 1) // 2
 
     def test_alpha_near_one_rarely_answers(self, built_engine, query_workload):
-        strict = built_engine.query(query_workload[0], 0.5, 0.99)
-        loose = built_engine.query(query_workload[0], 0.5, 0.0)
+        strict = built_engine.query(query_workload[0], gamma=0.5, alpha=0.99)
+        loose = built_engine.query(query_workload[0], gamma=0.5, alpha=0.0)
         assert set(strict.answer_sources()) <= set(loose.answer_sources())
 
     def test_high_gamma_empty_query_graph_path(self, built_engine, small_database, rng):
@@ -109,7 +109,7 @@ class TestThresholdExtremes:
             list(matrix.gene_ids[:2]),
             matrix.source_id,
         )
-        result = built_engine.query(query, 0.99, 0.0)
+        result = built_engine.query(query, gamma=0.99, alpha=0.0)
         if result.query_graph.num_edges == 0:
             for source in result.answer_sources():
                 holder = built_engine.database.get(source)
@@ -131,7 +131,7 @@ class TestMalformedInputs:
     def test_engine_rejects_bad_thresholds(self, built_engine, query_workload):
         for gamma, alpha in ((-0.1, 0.5), (1.0, 0.5), (0.5, -0.1), (0.5, 1.0)):
             with pytest.raises(ValidationError):
-                built_engine.query(query_workload[0], gamma, alpha)
+                built_engine.query(query_workload[0], gamma=gamma, alpha=alpha)
 
 
 class TestGeneIdExtremes:
@@ -144,7 +144,7 @@ class TestGeneIdExtremes:
         ]
         engine = IMGRNEngine(GeneFeatureDatabase(matrices), TEST_CONFIG)
         engine.build()
-        result = engine.query(matrices[0].submatrix(big_ids[:2]), 0.2, 0.0)
+        result = engine.query(matrices[0].submatrix(big_ids[:2]), gamma=0.2, alpha=0.0)
         assert 0 in result.answer_sources()
 
     def test_disjoint_gene_namespaces(self, rng):
@@ -160,5 +160,5 @@ class TestGeneIdExtremes:
         engine = IMGRNEngine(GeneFeatureDatabase(matrices), TEST_CONFIG)
         engine.build()
         query = matrices[2].submatrix([200, 201])
-        result = engine.query(query, 0.2, 0.0)
+        result = engine.query(query, gamma=0.2, alpha=0.0)
         assert result.answer_sources() == [2]

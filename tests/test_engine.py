@@ -56,7 +56,7 @@ class TestBuild:
     def test_query_before_build_raises(self, small_database, query_workload):
         engine = IMGRNEngine(small_database, TEST_CONFIG)
         with pytest.raises(IndexNotBuiltError):
-            engine.query(query_workload[0], 0.5, 0.5)
+            engine.query(query_workload[0], gamma=0.5, alpha=0.5)
 
     def test_empty_database_rejected(self):
         with pytest.raises(Exception):
@@ -76,7 +76,7 @@ class TestCorrectness:
             n_samples=TEST_CONFIG.mc_samples, seed=TEST_CONFIG.seed
         )
         for query in query_workload:
-            result = built_engine.query(query, gamma, alpha)
+            result = built_engine.query(query, gamma=gamma, alpha=alpha)
             expected = brute_force_answers(
                 small_database, estimator, result.query_graph, gamma, alpha
             )
@@ -91,11 +91,11 @@ class TestCorrectness:
         """With alpha=0 the query's own source must always answer (the
         query columns ARE that matrix's columns)."""
         for query in query_workload:
-            result = built_engine.query(query, 0.5, 0.0)
+            result = built_engine.query(query, gamma=0.5, alpha=0.0)
             assert query.source_id in result.answer_sources()
 
     def test_answer_probabilities_exceed_alpha(self, built_engine, query_workload):
-        result = built_engine.query(query_workload[0], 0.5, 0.2)
+        result = built_engine.query(query_workload[0], gamma=0.5, alpha=0.2)
         for answer in result.answers:
             assert answer.probability > 0.2
 
@@ -105,8 +105,8 @@ class TestCorrectness:
         b = IMGRNEngine(small_database, TEST_CONFIG)
         b.build()
         for query in query_workload:
-            ra = a.query(query, 0.5, 0.5)
-            rb = b.query(query, 0.5, 0.5)
+            ra = a.query(query, gamma=0.5, alpha=0.5)
+            rb = b.query(query, gamma=0.5, alpha=0.5)
             assert ra.answer_sources() == rb.answer_sources()
             assert ra.stats.candidates == rb.stats.candidates
 
@@ -128,9 +128,9 @@ class TestEngineAgreement:
     def test_answers_agree(self, engines, query_workload, gamma, alpha):
         engine, baseline, scan = engines
         for query in query_workload:
-            a = engine.query(query, gamma, alpha).answer_sources()
-            b = baseline.query(query, gamma, alpha).answer_sources()
-            c = scan.query(query, gamma, alpha).answer_sources()
+            a = engine.query(query, gamma=gamma, alpha=alpha).answer_sources()
+            b = baseline.query(query, gamma=gamma, alpha=alpha).answer_sources()
+            c = scan.query(query, gamma=gamma, alpha=alpha).answer_sources()
             assert a == b == c
 
     def test_baseline_storage_model(self, engines, small_database):
@@ -147,20 +147,18 @@ class TestEngineAgreement:
         engine_io = []
         baseline_io = []
         for query in query_workload:
-            engine_io.append(engine.query(query, 0.5, 0.5).stats.io_accesses)
-            baseline_io.append(baseline.query(query, 0.5, 0.5).stats.io_accesses)
+            engine_io.append(engine.query(query, gamma=0.5, alpha=0.5).stats.io_accesses)
+            baseline_io.append(baseline.query(query, gamma=0.5, alpha=0.5).stats.io_accesses)
         # Baseline I/O is constant = N pages minimum (one per matrix here).
         assert min(baseline_io) >= len(list(engine.database))
 
     def test_query_before_build(self, small_database, query_workload):
         with pytest.raises(IndexNotBuiltError):
             BaselineEngine(small_database, TEST_CONFIG).query(
-                query_workload[0], 0.5, 0.5
-            )
+                query_workload[0], gamma=0.5, alpha=0.5)
         with pytest.raises(IndexNotBuiltError):
             LinearScanEngine(small_database, TEST_CONFIG).query(
-                query_workload[0], 0.5, 0.5
-            )
+                query_workload[0], gamma=0.5, alpha=0.5)
 
 
 class TestQueryGraphInference:
@@ -183,7 +181,7 @@ class TestQueryGraphInference:
         query = GeneFeatureMatrix(
             rng.normal(size=(matrix.num_samples, 2)), genes, matrix.source_id
         )
-        result = built_engine.query(query, 0.95, 0.0)
+        result = built_engine.query(query, gamma=0.95, alpha=0.0)
         expected = sorted(
             m.source_id
             for m in small_database
@@ -193,14 +191,14 @@ class TestQueryGraphInference:
 
     def test_gamma_domain(self, built_engine, query_workload):
         with pytest.raises(ValidationError):
-            built_engine.query(query_workload[0], 1.0, 0.5)
+            built_engine.query(query_workload[0], gamma=1.0, alpha=0.5)
         with pytest.raises(ValidationError):
-            built_engine.query(query_workload[0], 0.5, 1.0)
+            built_engine.query(query_workload[0], gamma=0.5, alpha=1.0)
 
 
 class TestStats:
     def test_stats_populated(self, built_engine, query_workload):
-        result = built_engine.query(query_workload[0], 0.5, 0.5)
+        result = built_engine.query(query_workload[0], gamma=0.5, alpha=0.5)
         stats = result.stats
         assert stats.cpu_seconds > 0.0
         assert stats.refine_seconds > 0.0
@@ -220,16 +218,16 @@ class TestStats:
     def test_gamma_monotone_candidates(self, built_engine, query_workload):
         """Higher gamma can only shrink the candidate set (Fig. 7(c))."""
         for query in query_workload:
-            low = built_engine.query(query, 0.2, 0.5)
-            high = built_engine.query(query, 0.9, 0.5)
+            low = built_engine.query(query, gamma=0.2, alpha=0.5)
+            high = built_engine.query(query, gamma=0.9, alpha=0.5)
             # The query graph itself changes with gamma, so compare only
             # when the high-gamma query graph still has edges.
             if high.query_graph.num_edges > 0:
                 assert high.stats.candidates <= max(low.stats.candidates, 1)
 
     def test_io_reset_between_queries(self, built_engine, query_workload):
-        first = built_engine.query(query_workload[0], 0.5, 0.5).stats.io_accesses
-        second = built_engine.query(query_workload[0], 0.5, 0.5).stats.io_accesses
+        first = built_engine.query(query_workload[0], gamma=0.5, alpha=0.5).stats.io_accesses
+        second = built_engine.query(query_workload[0], gamma=0.5, alpha=0.5).stats.io_accesses
         assert first == second
 
 
@@ -243,7 +241,7 @@ class TestPivotPadding:
         engine.build()
         assert engine.tree.dim == 9
         query = wide.submatrix([0, 1])
-        result = engine.query(query, 0.2, 0.0)
+        result = engine.query(query, gamma=0.2, alpha=0.0)
         estimator = EdgeProbabilityEstimator(n_samples=64, seed=1)
         expected = brute_force_answers(
             db, estimator, result.query_graph, 0.2, 0.0

@@ -17,7 +17,7 @@ from conftest import TEST_CONFIG
 class TestQueryTopK:
     def test_topk_subset_of_unfiltered(self, built_engine, query_workload):
         query = query_workload[0]
-        all_answers = built_engine.query(query, 0.5, 0.0)
+        all_answers = built_engine.query(query, gamma=0.5, alpha=0.0)
         top2 = built_engine.query_topk(query, gamma=0.5, k=2)
         assert len(top2.answers) <= 2
         assert set(top2.answer_sources()) <= set(all_answers.answer_sources())
@@ -27,7 +27,7 @@ class TestQueryTopK:
         # guarantees multi-source matches on overlapping gene sets).
         query, all_answers = None, []
         for candidate in query_workload:
-            answers = built_engine.query(candidate, 0.2, 0.0).answers
+            answers = built_engine.query(candidate, gamma=0.2, alpha=0.0).answers
             if len(answers) >= 2:
                 query, all_answers = candidate, answers
                 break
@@ -72,8 +72,8 @@ class TestAddMatrix:
         rebuilt = IMGRNEngine(engine.database, TEST_CONFIG)
         rebuilt.build()
         for query in query_workload:
-            incremental = engine.query(query, 0.5, 0.2).answer_sources()
-            full = rebuilt.query(query, 0.5, 0.2).answer_sources()
+            incremental = engine.query(query, gamma=0.5, alpha=0.2).answer_sources()
+            full = rebuilt.query(query, gamma=0.5, alpha=0.2).answer_sources()
             assert incremental == full
 
     def test_new_source_becomes_findable(self, engine_and_new_matrix):
@@ -81,7 +81,7 @@ class TestAddMatrix:
         engine.add_matrix(new_matrix)
         # Query cut from the new matrix must match it.
         query = new_matrix.submatrix(list(new_matrix.gene_ids[:3]))
-        result = engine.query(query, 0.5, 0.0)
+        result = engine.query(query, gamma=0.5, alpha=0.0)
         assert 500 in result.answer_sources()
 
     def test_tree_size_grows(self, engine_and_new_matrix):
@@ -116,8 +116,8 @@ class TestAnchorStrategies:
         reference.build()
         for query in query_workload:
             assert (
-                engine.query(query, 0.5, 0.2).answer_sources()
-                == reference.query(query, 0.5, 0.2).answer_sources()
+                engine.query(query, gamma=0.5, alpha=0.2).answer_sources()
+                == reference.query(query, gamma=0.5, alpha=0.2).answer_sources()
             )
 
     def test_invalid_strategy_rejected(self):
@@ -157,7 +157,7 @@ class TestBaselineMaterialization:
     def test_candidates_equal_database_size(self, small_database, query_workload):
         baseline = BaselineEngine(small_database, TEST_CONFIG)
         baseline.build()
-        result = baseline.query(query_workload[0], 0.5, 0.5)
+        result = baseline.query(query_workload[0], gamma=0.5, alpha=0.5)
         assert result.stats.candidates == len(small_database)
 
 

@@ -1,10 +1,9 @@
 """The unified engine API: QueryEngine protocol conformance, the
-keyword-only threshold shim, registry-sourced stats, and the
+typed-QuerySpec `execute()` workload suite (containment / topk /
+similarity) across all four engines, registry-sourced stats, and the
 `edge_probability` dispatcher with its deprecated aliases."""
 
 from __future__ import annotations
-
-import warnings
 
 import numpy as np
 import pytest
@@ -18,6 +17,7 @@ from repro import (
     MeasureScanEngine,
     ObservabilityConfig,
     QueryEngine,
+    QuerySpec,
     edge_probability,
     edge_probability_correlation,
     edge_probability_distance,
@@ -54,6 +54,52 @@ def _engine_factories():
     ]
 
 
+def _answers(result: IMGRNResult) -> list[tuple[int, float]]:
+    return [(a.source_id, a.probability) for a in result.answers]
+
+
+def _pair_probability_fn(engine):
+    """The engine's content-keyed edge-probability estimator."""
+    inference = getattr(engine, "_inference", None)
+    if inference is not None:
+        return inference.pair_probability
+    return engine._pair_probability
+
+
+def _brute_force_similarity(
+    engine, database, query_graph, gamma, alpha, edge_budget
+) -> list[int]:
+    """Reference enumeration: check every source directly, no pruning.
+
+    A source answers iff it holds every query gene, at most
+    ``edge_budget`` query edges have existence probability ``<= gamma``
+    in its inferred GRN, and the product of the matched edges'
+    probabilities exceeds ``alpha``. Probabilities come from the same
+    content-keyed estimator the engines use, so the comparison is exact.
+    """
+    pair_probability = _pair_probability_fn(engine)
+    answers = []
+    for matrix in database:
+        if any(g not in matrix for g in query_graph.gene_ids):
+            continue
+        probability, missing, matched = 1.0, 0, True
+        for (u, v), _p in query_graph.edges():
+            p = pair_probability(matrix.column(u), matrix.column(v))
+            if p <= gamma:
+                missing += 1
+                if missing > edge_budget:
+                    matched = False
+                    break
+                continue
+            probability *= p
+            if probability <= alpha:
+                matched = False
+                break
+        if matched:
+            answers.append(matrix.source_id)
+    return answers
+
+
 @pytest.mark.parametrize(
     "name,factory", _engine_factories(), ids=lambda p: p if isinstance(p, str) else ""
 )
@@ -75,28 +121,20 @@ class TestQueryEngineProtocol:
         assert result.stats.io_accesses >= 0
         assert result.stats.candidates >= len(result.answers)
 
-    def test_positional_thresholds_deprecated_but_equivalent(
+    def test_positional_thresholds_raise(
         self, small_database, query_workload, name, factory
     ):
+        """The PR-3 DeprecationWarning shim completed its cycle."""
         engine = factory(small_database)
         engine.build()
-        query = query_workload[0]
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            keyword = engine.query(query, gamma=GAMMA, alpha=ALPHA)
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            positional = engine.query(query, GAMMA, ALPHA)
-        assert positional.answer_sources() == keyword.answer_sources()
-
-    def test_duplicate_thresholds_rejected(
-        self, small_database, query_workload, name, factory
-    ):
-        engine = factory(small_database)
-        engine.build()
-        with pytest.raises(TypeError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                engine.query(query_workload[0], GAMMA, gamma=GAMMA, alpha=ALPHA)
+        with pytest.raises(TypeError, match="positional"):
+            engine.query(query_workload[0], GAMMA, ALPHA)
+        with pytest.raises(TypeError, match="positional"):
+            engine.query_topk(query_workload[0], GAMMA, 3)
+        with pytest.raises(TypeError, match="gamma"):
+            engine.query(query_workload[0])
+        with pytest.raises(TypeError, match="gamma"):
+            engine.query_topk(query_workload[0])
 
     def test_stats_sourced_from_metrics_delta(
         self, small_database, query_workload, name, factory
@@ -110,7 +148,116 @@ class TestQueryEngineProtocol:
         assert result.metrics[io_key] == float(result.stats.io_accesses)
         candidates_key = f"query.candidates{{{label}}}"
         assert result.metrics[candidates_key] == float(result.stats.candidates)
-        assert result.metrics[f"query.count{{{label}}}"] == 1.0
+        # Labels render alphabetically, so kind sorts after engine.
+        count_key = f'query.count{{{label},kind="containment"}}'
+        assert result.metrics[count_key] == 1.0
+
+    # -- execute(spec) conformance, all three kinds --------------------
+    def test_execute_requires_spec(
+        self, small_database, query_workload, name, factory
+    ):
+        engine = factory(small_database)
+        engine.build()
+        with pytest.raises(ValidationError, match="QuerySpec"):
+            engine.execute(query_workload[0])
+
+    def test_execute_containment_matches_query(
+        self, small_database, query_workload, name, factory
+    ):
+        engine = factory(small_database)
+        engine.build()
+        for query in query_workload[:2]:
+            via_query = engine.query(query, gamma=GAMMA, alpha=ALPHA)
+            via_spec = engine.execute(QuerySpec(query, GAMMA, ALPHA))
+            assert _answers(via_spec) == _answers(via_query)
+
+    def test_similarity_b0_bit_identical_to_containment(
+        self, small_database, query_workload, name, factory
+    ):
+        engine = factory(small_database)
+        engine.build()
+        for query in query_workload[:3]:
+            contain = engine.execute(QuerySpec(query, GAMMA, ALPHA))
+            similar = engine.execute(
+                QuerySpec(
+                    query, GAMMA, ALPHA, kind="similarity", edge_budget=0
+                )
+            )
+            assert _answers(similar) == _answers(contain)
+
+    @pytest.mark.parametrize("budget", [0, 1, 2])
+    def test_similarity_sound_vs_brute_force(
+        self, small_database, query_workload, name, factory, budget
+    ):
+        """No false dismissals AND no spurious answers vs enumeration."""
+        engine = factory(small_database)
+        engine.build()
+        for query in query_workload[:2]:
+            result = engine.execute(
+                QuerySpec(
+                    query, GAMMA, ALPHA, kind="similarity", edge_budget=budget
+                )
+            )
+            reference = _brute_force_similarity(
+                engine,
+                small_database,
+                result.query_graph,
+                GAMMA,
+                ALPHA,
+                budget,
+            )
+            assert result.answer_sources() == sorted(reference)
+
+    def test_similarity_monotone_in_budget(
+        self, small_database, query_workload, name, factory
+    ):
+        engine = factory(small_database)
+        engine.build()
+        query = query_workload[0]
+        previous: set[int] = set()
+        for budget in (0, 1, 2, 3):
+            answers = set(
+                engine.execute(
+                    QuerySpec(
+                        query,
+                        GAMMA,
+                        ALPHA,
+                        kind="similarity",
+                        edge_budget=budget,
+                    )
+                ).answer_sources()
+            )
+            assert previous <= answers
+            previous = answers
+
+    def test_topk_matches_posthoc_sort(
+        self, small_database, query_workload, name, factory
+    ):
+        """Exactly the first k of the alpha=0 sort, ids and probabilities."""
+        engine = factory(small_database)
+        engine.build()
+        for query in query_workload[:2]:
+            unfiltered = engine.execute(QuerySpec(query, GAMMA, 0.0))
+            reference = sorted(
+                _answers(unfiltered), key=lambda sp: (-sp[1], sp[0])
+            )
+            for k in (1, 3, 10**6):
+                topk = engine.execute(
+                    QuerySpec(query, GAMMA, kind="topk", k=k)
+                )
+                assert _answers(topk) == reference[:k]
+
+    def test_topk_refines_no_more_than_posthoc(
+        self, small_database, query_workload, name, factory
+    ):
+        """Candidate counts never exceed the post-hoc path's (IMGRN also
+        proves strict pruning via the topk_kth_bound counter elsewhere)."""
+        engine = factory(small_database)
+        engine.build()
+        query = query_workload[0]
+        posthoc = engine.execute(QuerySpec(query, GAMMA, 0.0))
+        topk = engine.execute(QuerySpec(query, GAMMA, kind="topk", k=1))
+        assert topk.stats.candidates <= posthoc.stats.candidates
 
 
 class TestEdgeProbabilityDispatcher:

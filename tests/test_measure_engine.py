@@ -45,13 +45,13 @@ class TestBasics:
         )
         engine.build()
         query = query_workload[0]
-        result = engine.query(query, 0.5, 0.0)
+        result = engine.query(query, gamma=0.5, alpha=0.0)
         assert query.source_id in result.answer_sources()
 
     def test_query_before_build(self, small_database, query_workload):
         engine = MeasureScanEngine(small_database, "pearson")
         with pytest.raises(IndexNotBuiltError):
-            engine.query(query_workload[0], 0.5, 0.5)
+            engine.query(query_workload[0], gamma=0.5, alpha=0.5)
 
     def test_unknown_measure_rejected(self, small_database):
         with pytest.raises(ValidationError):
@@ -61,14 +61,14 @@ class TestBasics:
         engine = MeasureScanEngine(small_database, "pearson", TEST_CONFIG)
         engine.build()
         with pytest.raises(ValidationError):
-            engine.query(query_workload[0], 1.0, 0.5)
+            engine.query(query_workload[0], gamma=1.0, alpha=0.5)
         with pytest.raises(ValidationError):
-            engine.query(query_workload[0], 0.5, 1.0)
+            engine.query(query_workload[0], gamma=0.5, alpha=1.0)
 
     def test_stats_populated(self, small_database, query_workload):
         engine = MeasureScanEngine(small_database, "pearson", TEST_CONFIG)
         engine.build()
-        result = engine.query(query_workload[0], 0.5, 0.5)
+        result = engine.query(query_workload[0], gamma=0.5, alpha=0.5)
         stats = result.stats
         assert stats.cpu_seconds > 0.0
         assert stats.inference_seconds > 0.0
@@ -81,10 +81,10 @@ class TestBasics:
     def test_cache_counters(self, small_database, query_workload):
         engine = MeasureScanEngine(small_database, "pearson", TEST_CONFIG)
         engine.build()
-        engine.query(query_workload[0], 0.5, 0.5)
+        engine.query(query_workload[0], gamma=0.5, alpha=0.5)
         first = engine.inference_stats()
         assert first["cache_misses"] > 0
-        engine.query(query_workload[0], 0.5, 0.5)
+        engine.query(query_workload[0], gamma=0.5, alpha=0.5)
         second = engine.inference_stats()
         # The repeated query re-reads the same column pairs: all hits.
         assert second["cache_hits"] > first["cache_hits"]

@@ -20,8 +20,8 @@ class TestSaveLoad:
         save_engine(built_engine, path)
         loaded = load_engine(path)
         for query in query_workload:
-            original = built_engine.query(query, 0.5, 0.2)
-            restored = loaded.query(query, 0.5, 0.2)
+            original = built_engine.query(query, gamma=0.5, alpha=0.2)
+            restored = loaded.query(query, gamma=0.5, alpha=0.2)
             assert restored.answer_sources() == original.answer_sources()
             assert restored.stats.candidates == original.stats.candidates
 
@@ -63,7 +63,7 @@ class TestSaveLoad:
         )
         loaded.add_matrix(new_matrix)
         query = new_matrix.submatrix(list(new_matrix.gene_ids[:3]))
-        assert 600 in loaded.query(query, 0.5, 0.0).answer_sources()
+        assert 600 in loaded.query(query, gamma=0.5, alpha=0.0).answer_sources()
 
     def test_save_unbuilt_rejected(self, small_database, tmp_path):
         engine = IMGRNEngine(small_database, TEST_CONFIG)

@@ -79,7 +79,7 @@ def test_engine_equals_brute_force(case):
     database, query, gamma, alpha = case
     engine = IMGRNEngine(database, CONFIG)
     engine.build()
-    result = engine.query(query, gamma, alpha)
+    result = engine.query(query, gamma=gamma, alpha=alpha)
     assert result.answer_sources() == brute_force(
         database, result.query_graph, gamma, alpha
     )
@@ -96,7 +96,7 @@ def test_remove_then_query_consistency(case):
     engine.build()
     victim = database.source_ids[0]
     engine.remove_matrix(victim)
-    result = engine.query(query, gamma, alpha)
+    result = engine.query(query, gamma=gamma, alpha=alpha)
     remaining = GeneFeatureDatabase(
         m for m in database if m.source_id != victim
     )

@@ -177,6 +177,9 @@ class _SleepyEngine:
             raise self.exc("flaky backend")
         return IMGRNResult(None, [], QueryStats(answers=0))
 
+    def execute(self, spec: QuerySpec) -> IMGRNResult:
+        return self.query(spec.matrix, gamma=spec.gamma, alpha=spec.alpha)
+
 
 class TestDegradation:
     def test_timeout_yields_structured_outcome(self, query_workload):
@@ -198,10 +201,10 @@ class TestDegradation:
         class _Hybrid:
             obs = built_engine.obs
 
-            def query(self, matrix, *, gamma, alpha):
-                if gamma > 0.8:  # the poisoned spec
-                    return sleepy.query(matrix, gamma=gamma, alpha=alpha)
-                return built_engine.query(matrix, gamma=gamma, alpha=alpha)
+            def execute(self, spec):
+                if spec.gamma > 0.8:  # the poisoned spec
+                    return sleepy.execute(spec)
+                return built_engine.execute(spec)
 
         specs = [
             QuerySpec(query_workload[0], 0.5, 0.2),
@@ -287,32 +290,42 @@ class TestDegradation:
 
 
 class TestValidation:
-    def test_invalid_gamma_rejected_before_dispatch(
+    def test_invalid_thresholds_rejected_at_spec_construction(
+        self, query_workload
+    ):
+        """A QuerySpec validates eagerly: bad thresholds can never reach
+        a server, an engine, or the daemon."""
+        with pytest.raises(ValidationError, match="gamma"):
+            QuerySpec(query_workload[0], 1.5, 0.2)
+        with pytest.raises(ValidationError, match="alpha"):
+            QuerySpec(query_workload[0], 0.5, -0.1)
+        with pytest.raises(ValidationError, match="k"):
+            QuerySpec(query_workload[0], 0.5, kind="topk", k=0)
+        with pytest.raises(ValidationError, match="edge_budget"):
+            QuerySpec(
+                query_workload[0], 0.5, 0.2, kind="similarity", edge_budget=-1
+            )
+        with pytest.raises(ValidationError, match="kind"):
+            QuerySpec(query_workload[0], 0.5, 0.2, kind="regex")
+
+    def test_one_bad_item_fails_whole_batch_upfront(
         self, built_engine, query_workload
     ):
+        """Non-spec items are rejected before anything is dispatched."""
+        specs = [
+            QuerySpec(query_workload[0], 0.5, 0.2),
+            query_workload[1],  # a raw matrix, not a QuerySpec
+        ]
         with QueryServer(built_engine, ServeConfig(max_workers=1)) as server:
             mark = built_engine.obs.metrics.mark()
-            with pytest.raises(ValidationError, match="gamma"):
-                server.batch([QuerySpec(query_workload[0], 1.5, 0.2)])
-            with pytest.raises(ValidationError, match="alpha"):
-                server.batch([QuerySpec(query_workload[0], 0.5, -0.1)])
+            with pytest.raises(ValidationError, match="QuerySpec"):
+                server.batch(specs)
             # Nothing was served: the serve.queries counters never moved.
             delta = built_engine.obs.metrics.since(mark)
             assert not any(
                 key.startswith(_names.SERVE_QUERIES) and value
                 for key, value in delta.items()
             )
-
-    def test_one_bad_spec_fails_whole_batch_upfront(
-        self, built_engine, query_workload
-    ):
-        specs = [
-            QuerySpec(query_workload[0], 0.5, 0.2),
-            QuerySpec(query_workload[1], -0.5, 0.2),
-        ]
-        with QueryServer(built_engine, ServeConfig(max_workers=1)) as server:
-            with pytest.raises(ValidationError):
-                server.batch(specs)
 
     def test_closed_server_rejects_batches(self, built_engine, query_workload):
         server = QueryServer(built_engine, ServeConfig(max_workers=1))
@@ -363,23 +376,24 @@ class TestEngineValidation:
             engine.query(query_workload[0], gamma=1.2, alpha=0.2)
 
 
-class TestTopkShim:
-    def test_positional_topk_warns_and_matches_keyword(
+class TestTopkWrapper:
+    def test_positional_topk_raises(self, built_engine, query_workload):
+        """The PR-3 deprecation shim completed its cycle: positional
+        thresholds now raise instead of warning."""
+        with pytest.raises(TypeError, match="positional"):
+            built_engine.query_topk(query_workload[0], 0.5, 2)
+        with pytest.raises(TypeError):
+            built_engine.query_topk(query_workload[0])
+
+    def test_keyword_topk_matches_spec_execute(
         self, built_engine, query_workload
     ):
         query = query_workload[0]
         keyword = built_engine.query_topk(query, gamma=0.5, k=2)
-        with pytest.warns(DeprecationWarning, match="query_topk"):
-            positional = built_engine.query_topk(query, 0.5, 2)
-        assert positional.answer_sources() == keyword.answer_sources()
-
-    def test_duplicate_topk_arguments_rejected(
-        self, built_engine, query_workload
-    ):
-        with pytest.raises(TypeError):
-            built_engine.query_topk(query_workload[0], 0.5, gamma=0.5, k=2)
-        with pytest.raises(TypeError):
-            built_engine.query_topk(query_workload[0])
+        via_spec = built_engine.execute(
+            QuerySpec(query, 0.5, kind="topk", k=2)
+        )
+        assert keyword.answer_sources() == via_spec.answer_sources()
 
     def test_topk_gamma_validated(self, built_engine, query_workload):
         with pytest.raises(ValidationError, match="gamma"):
