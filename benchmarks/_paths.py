@@ -1,0 +1,61 @@
+"""One home for every benchmark output path (honors ``IMGRN_BENCH_OUT``).
+
+Before this module, bench scripts scattered their artifacts: the figure
+benches wrote tables under ``benchmarks/out/`` while the standalone
+scripts (``bench_ci_smoke.py``, ``bench_serve_*.py --json``) dropped
+files into the current working directory. Every script now resolves its
+output path here:
+
+* ``IMGRN_BENCH_OUT=<dir>`` redirects *all* bench artifacts to one
+  directory (CI uses this to collect artifacts from a single place);
+* without the env var, defaults land under ``benchmarks/out/`` and an
+  explicitly passed relative path keeps its historical cwd-relative
+  meaning, so existing invocations (``--out BENCH_CI.json``) behave
+  unchanged;
+* absolute paths always win.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["bench_out_dir", "out_path", "resolve_out"]
+
+ENV_VAR = "IMGRN_BENCH_OUT"
+
+#: The historical default artifact directory.
+DEFAULT_OUT = Path(__file__).resolve().parent / "out"
+
+
+def bench_out_dir(create: bool = True) -> Path:
+    """The bench artifact directory: ``$IMGRN_BENCH_OUT`` or benchmarks/out."""
+    override = os.environ.get(ENV_VAR)
+    directory = Path(override) if override else DEFAULT_OUT
+    if create:
+        directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def out_path(name: str) -> Path:
+    """A named artifact inside :func:`bench_out_dir` (created)."""
+    return bench_out_dir() / name
+
+
+def resolve_out(explicit: str | os.PathLike | None, default_name: str) -> Path:
+    """Resolve one script's output path.
+
+    * ``explicit`` is ``None``: ``bench_out_dir()/default_name``;
+    * ``explicit`` is absolute: used verbatim;
+    * ``explicit`` is relative: under ``$IMGRN_BENCH_OUT`` when the env
+      var is set, else cwd-relative (the historical behavior of flags
+      like ``--out BENCH_CI.json``).
+    """
+    if explicit is None:
+        return out_path(default_name)
+    path = Path(explicit)
+    if path.is_absolute():
+        return path
+    if os.environ.get(ENV_VAR):
+        return bench_out_dir() / path
+    return path

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import statistics
 import tempfile
 import time
@@ -412,13 +411,21 @@ FLOORS = {
 }
 
 
-def run(repeats: int = 3) -> dict[str, object]:
-    """Run every bench ``repeats`` times and keep the per-key median.
+def run(repeats: int = 3, label: str = "CI") -> dict[str, object]:
+    """Run every bench ``repeats`` times; emit the trajectory schema.
 
-    Counters are identical across repeats (fixed seeds), so the median
-    only smooths the wall-clock and ratio keys against scheduler noise.
+    Sample collection rides on the experiment harness
+    (:func:`repro.eval.harness.trajectory.bench_payload`): ``benches``
+    still carries the per-key median -- counters are identical across
+    repeats (fixed seeds), so the median only smooths the wall-clock and
+    ratio keys against scheduler noise, and the legacy
+    ``check_regression.py --baseline`` gate reads the file unchanged --
+    while ``samples`` preserves every repeat so ``compare-trajectory``
+    can run real statistics over the archived per-PR history.
     """
-    benches = {}
+    from repro.eval.harness.trajectory import bench_payload
+
+    samples: dict[str, dict[str, list[float]]] = {}
     for name, fn in (
         ("fig06_small", bench_fig06_small),
         ("fig13_small", bench_fig13_small),
@@ -428,31 +435,38 @@ def run(repeats: int = 3) -> dict[str, object]:
         ("streaming_smoke", bench_streaming_smoke),
         ("traversal_micro", bench_traversal_micro),
     ):
-        samples = []
+        per_key: dict[str, list[float]] = {}
         for _ in range(max(1, repeats)):
             started = time.perf_counter()
             sample = fn()
             sample["wall_seconds"] = time.perf_counter() - started
-            samples.append(sample)
-        benches[name] = {
-            key: statistics.median(sample[key] for sample in samples)
-            for key in samples[0]
+            for key, value in sample.items():
+                per_key.setdefault(key, []).append(float(value))
+        samples[name] = per_key
+        medians = {
+            key: statistics.median(values) for key, values in per_key.items()
         }
-        print(f"{name}: {json.dumps(benches[name], indent=2, sort_keys=True)}")
-    return {
-        "meta": {
-            "seed": SEED,
-            "repeats": repeats,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
-        "benches": benches,
-    }
+        print(f"{name}: {json.dumps(medians, indent=2, sort_keys=True)}")
+    return bench_payload(
+        samples, label=label, meta={"seed": SEED, "repeats": repeats}
+    )
 
 
 def main() -> int:
+    from _paths import resolve_out
+
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_CI.json", help="output JSON path")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: BENCH_CI.json in $IMGRN_BENCH_OUT "
+        "or benchmarks/out/)",
+    )
+    parser.add_argument(
+        "--label",
+        default="CI",
+        help="trajectory label stamped into the payload (e.g. a PR number)",
+    )
     parser.add_argument(
         "--repeats",
         type=int,
@@ -466,15 +480,21 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    payload = run(repeats=args.repeats)
-    Path(args.out).write_text(
+    payload = run(repeats=args.repeats, label=args.label)
+    out = resolve_out(args.out, "BENCH_CI.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     if args.write_baseline:
         baseline_path = Path(__file__).parent / "baseline.json"
-        baseline = dict(payload)
-        baseline["floors"] = FLOORS
+        # The baseline stays the compact legacy shape: medians + floors.
+        baseline = {
+            "meta": payload["meta"],
+            "benches": payload["benches"],
+            "floors": FLOORS,
+        }
         baseline_path.write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import write_table
-from repro.eval.counters import aggregate_stats
-from repro.eval.experiments import ExperimentResult
+from conftest import legacy_table, write_table
+from repro.config import DEFAULTS
+from repro.eval.harness import ExperimentConfig, ExperimentRunner, ScaleSpec
 from repro.eval.reporting import format_table
 
 ALPHAS = (0.2, 0.3, 0.5, 0.8, 0.9)
@@ -29,32 +29,34 @@ def test_query_speed_vs_alpha(benchmark, uni_workload, alpha):
     )
 
 
-def test_figure8_series(benchmark, uni_workload, gau_workload):
-    def sweep():
-        result = ExperimentResult(name="fig8_alpha", x_label="alpha")
-        for label, workload in (("uni", uni_workload), ("gau", gau_workload)):
-            for alpha in ALPHAS:
-                stats = [
-                    workload.engine.query(q, gamma=GAMMA, alpha=alpha).stats
-                    for q in workload.queries
-                ]
-                agg = aggregate_stats(stats)
-                result.rows.append(
-                    {
-                        "dataset": label,
-                        "alpha": alpha,
-                        "cpu_seconds": agg["cpu_seconds"],
-                        "io_accesses": agg["io_accesses"],
-                        "candidates": agg["candidates"],
-                        "answers": agg["answers"],
-                    }
-                )
-        return result
+def test_figure8_series(benchmark, uni_workload, gau_workload, bench_seed):
+    # The alpha sweep as a declarative experiment on the harness runner;
+    # the session workloads are primed in so nothing is rebuilt.
+    scale = ScaleSpec(len(uni_workload.database), DEFAULTS.genes_per_matrix)
+    config = ExperimentConfig(
+        name="fig8_alpha",
+        engines=("imgrn",),
+        baseline_engine="imgrn",
+        kinds=("containment",),
+        weights=("uni", "gau"),
+        scales=(scale,),
+        gammas=(GAMMA,),
+        alphas=ALPHAS,
+        n_q=DEFAULTS.query_genes,
+        num_queries=len(uni_workload.queries),
+        repeats=1,
+        seed=bench_seed,
+    )
+    runner = ExperimentRunner(config)
+    runner.prime("imgrn", "uni", scale, uni_workload.engine, uni_workload.queries)
+    runner.prime("imgrn", "gau", scale, gau_workload.engine, gau_workload.queries)
 
-    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+    result = legacy_table(results, "fig8_alpha", "alpha")
     write_table("fig08_alpha", format_table(result))
     for label in ("uni", "gau"):
         rows = [r for r in result.rows if r["dataset"] == label]
+        assert len(rows) == len(ALPHAS)
         # I/O is insensitive to alpha: the traversal is gamma-driven.
         io = [r["io_accesses"] for r in rows]
         assert max(io) <= min(io) * 1.2 + 10

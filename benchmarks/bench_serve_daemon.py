@@ -206,11 +206,15 @@ def main() -> int:
         f"{result['p99_seconds'] * 1000:.1f}ms, drained clean)"
     )
     if args.json:
-        Path(args.json).write_text(
+        from _paths import resolve_out
+
+        target = resolve_out(args.json, "serve_daemon.json")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
             json.dumps(result, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
-        print(f"wrote {args.json}")
+        print(f"wrote {target}")
     return 0
 
 

@@ -28,7 +28,6 @@ from __future__ import annotations
 import argparse
 import json
 import time
-from pathlib import Path
 
 from repro.config import EngineConfig, ObservabilityConfig, SyntheticConfig
 from repro.core.query import IMGRNEngine
@@ -178,10 +177,14 @@ def main() -> int:
             "total_answers": rounds[0]["answers"],
             "queries": len(specs),
         }
-        Path(args.json).write_text(
+        from _paths import resolve_out
+
+        target = resolve_out(args.json, "serve_throughput.json")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
-        print(f"wrote {args.json}")
+        print(f"wrote {target}")
     return 0
 
 

@@ -18,6 +18,13 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
         --new BENCH_CI.json --baseline benchmarks/baseline.json --tolerance 0.30
+
+``compare-trajectory`` mode gates against the archived per-PR trajectory
+(``BENCH_*.json`` history) with statistical significance instead of the
+point tolerance -- see :mod:`repro.eval.harness.trajectory`::
+
+    PYTHONPATH=src python benchmarks/check_regression.py compare-trajectory \
+        --new BENCH_CI.json --history benchmarks/trajectory
 """
 
 from __future__ import annotations
@@ -93,7 +100,55 @@ def compare(
     return failures
 
 
+def main_compare_trajectory(argv: list[str]) -> int:
+    """The ``compare-trajectory`` sub-mode: statistical trajectory gate."""
+    from repro.eval.harness.trajectory import (
+        compare_trajectory,
+        load_bench,
+        load_history,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="check_regression.py compare-trajectory",
+        description=(
+            "Gate a fresh BENCH_*.json against the archived trajectory "
+            "(Mann-Whitney significance on wall-clock, drift on counters)."
+        ),
+    )
+    parser.add_argument("--new", default="BENCH_CI.json")
+    parser.add_argument(
+        "--history",
+        default="benchmarks/trajectory",
+        help="directory of archived BENCH_*.json entries",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument("--significance", type=float, default=0.05)
+    parser.add_argument("--min-slowdown", type=float, default=0.10)
+    args = parser.parse_args(argv)
+
+    new = load_bench(args.new)
+    history = load_history(args.history)
+    failures, notes = compare_trajectory(
+        new,
+        history,
+        tolerance=args.tolerance,
+        significance=args.significance,
+        min_slowdown=args.min_slowdown,
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if failures:
+        print(f"trajectory regression gate FAILED ({len(failures)} issue(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("trajectory regression gate passed")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "compare-trajectory":
+        return main_compare_trajectory(sys.argv[2:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--new", default="BENCH_CI.json")
     parser.add_argument("--baseline", default="benchmarks/baseline.json")

@@ -9,11 +9,10 @@ higher) to multiply the database sizes toward paper scale.
 from __future__ import annotations
 
 import os
-from pathlib import Path
 
 import pytest
 
-OUT_DIR = Path(__file__).parent / "out"
+from _paths import out_path
 
 #: Multiplier applied to database sizes (REPRO_BENCH_SCALE env var).
 SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
@@ -24,10 +23,40 @@ def scaled(n: int) -> int:
     return n * SCALE
 
 
+def legacy_table(results, name: str, x_label: str):
+    """Harness runner rows -> the paper-style per-query-mean series table.
+
+    The figure benches that migrated onto
+    :class:`repro.eval.harness.ExperimentRunner` use this to keep their
+    ``benchmarks/out/`` tables byte-compatible with the hand-written
+    sweeps they replaced (the runner sums counters over the workload;
+    the tables plot per-query means).
+    """
+    from repro.eval.experiments import ExperimentResult
+
+    table = ExperimentResult(name=name, x_label=x_label)
+    for row in results.rows:
+        count = float(row["num_queries"]) or 1.0
+        table.rows.append(
+            {
+                "dataset": row["weights"],
+                x_label: row[x_label],
+                "cpu_seconds": row["cpu_seconds"] / count,
+                "io_accesses": row["io_accesses"] / count,
+                "candidates": row["candidates"] / count,
+                "answers": row["answers"] / count,
+            }
+        )
+    return table
+
+
 def write_table(name: str, text: str) -> None:
-    """Persist one figure's series under benchmarks/out/ and echo it."""
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    """Persist one figure's series in the bench output dir and echo it.
+
+    The directory is ``$IMGRN_BENCH_OUT`` or ``benchmarks/out/`` -- see
+    :mod:`_paths`, the single home of bench output routing.
+    """
+    out_path(f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}")
 
 

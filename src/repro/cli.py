@@ -15,6 +15,13 @@ plus the operational commands::
     imgrn serve index_dir --port 8080    # network daemon over a sharded save
     imgrn stats metrics.json             # pretty-print a metrics snapshot
 
+and the experiment harness (docs/experiments.md)::
+
+    imgrn experiment run --config benchmarks/experiments/ci_smoke.toml
+    imgrn experiment report --results experiment-out/results.json
+    imgrn experiment compare --new BENCH_CI.json --history benchmarks/trajectory
+    imgrn experiment archive --bench BENCH_CI.json --dir trajectory --keep 20
+
 Every option has a laptop-scale default; the sweeps reproduce the figure
 *shapes* of the paper (see EXPERIMENTS.md).
 """
@@ -375,6 +382,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="grace period for in-flight work on SIGTERM",
     )
 
+    experiment = sub.add_parser(
+        "experiment",
+        help="declarative experiment harness: run / report / compare / "
+        "archive (see docs/experiments.md)",
+    )
+    action = experiment.add_subparsers(dest="action", required=True)
+
+    run = action.add_parser(
+        "run", help="execute a TOML/JSON experiment config, archive results"
+    )
+    run.add_argument(
+        "--config",
+        required=True,
+        metavar="PATH",
+        help="experiment spec (.toml or .json; see docs/experiments.md)",
+    )
+    run.add_argument(
+        "--out-dir",
+        default="experiment-out",
+        metavar="DIR",
+        help="directory receiving results.json + BENCH_<label>.json",
+    )
+    run.add_argument(
+        "--label",
+        default=None,
+        metavar="LABEL",
+        help="trajectory label (e.g. PR number; default: the git hash)",
+    )
+    run.add_argument(
+        "--csv",
+        action="store_true",
+        help="also write the tidy frame as results.csv",
+    )
+
+    rep = action.add_parser(
+        "report", help="render markdown/HTML from an archived result set"
+    )
+    rep.add_argument(
+        "--results",
+        default="experiment-out/results.json",
+        metavar="PATH",
+        help="results.json written by `imgrn experiment run`",
+    )
+    rep.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="markdown report path (default: report.md next to the results)",
+    )
+    rep.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="also write a standalone HTML report",
+    )
+    rep.add_argument(
+        "--trajectory",
+        default=None,
+        metavar="DIR",
+        help="BENCH_*.json archive to render the trend table from",
+    )
+
+    cmp = action.add_parser(
+        "compare",
+        help="statistical trajectory gate: fresh BENCH_*.json vs the archive",
+    )
+    cmp.add_argument("--new", required=True, metavar="PATH")
+    cmp.add_argument("--history", required=True, metavar="DIR")
+    cmp.add_argument("--tolerance", type=float, default=0.30)
+    cmp.add_argument("--significance", type=float, default=0.05)
+    cmp.add_argument("--min-slowdown", type=float, default=0.10)
+
+    arch = action.add_parser(
+        "archive",
+        help="add a BENCH_*.json to the trajectory archive and apply retention",
+    )
+    arch.add_argument("--bench", required=True, metavar="PATH")
+    arch.add_argument("--dir", required=True, metavar="DIR")
+    arch.add_argument(
+        "--keep",
+        type=int,
+        default=20,
+        help="retention: newest entries kept in the archive (default 20)",
+    )
+    arch.add_argument(
+        "--label",
+        default=None,
+        metavar="LABEL",
+        help="relabel the entry on archive (so repeated CI labels like "
+        "'CI' accumulate under unique names instead of overwriting)",
+    )
+
     stats = sub.add_parser(
         "stats", help="render a metrics snapshot (JSON file or live registry)"
     )
@@ -704,6 +803,121 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_experiment(args: argparse.Namespace) -> int:
+    """Dispatch `imgrn experiment run|report|compare|archive`."""
+    import shutil
+    from pathlib import Path
+
+    from .eval.harness import ExperimentRunner, load_config
+    from .eval.harness import trajectory as trajectory_mod
+    from .eval.harness.results import ExperimentResults
+    from .eval.harness.runner import git_hash
+
+    if args.action == "run":
+        config = load_config(args.config)
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        label = args.label or git_hash()
+        runner = ExperimentRunner(config)
+        trial_count = 0
+
+        def progress(row: dict) -> None:
+            nonlocal trial_count
+            trial_count += 1
+            print(
+                f"trial {trial_count}: {row['engine']} {row['kind']} "
+                f"{row['weights']}/{row['scale']} repeat={row['repeat']} "
+                f"{row['seconds']:.4f}s",
+                flush=True,
+            )
+
+        results = runner.run(progress=progress)
+        results_path = results.save(out_dir / "results.json")
+        payload = trajectory_mod.bench_payload(
+            results.bench_samples,
+            label=label,
+            meta={"experiment": config.name, "repeats": config.repeats},
+        )
+        bench_path = trajectory_mod.write_bench(
+            payload, out_dir / f"BENCH_{label}.json"
+        )
+        print(f"results archived to {results_path}")
+        print(f"trajectory entry written to {bench_path}")
+        if args.csv:
+            csv_path = out_dir / "results.csv"
+            csv_path.write_text(results.frame.to_csv(), encoding="utf-8")
+            print(f"tidy frame written to {csv_path}")
+        return 0
+
+    if args.action == "report":
+        from .eval.harness.report import render_html, render_markdown
+
+        results = ExperimentResults.load(args.results)
+        history = (
+            trajectory_mod.load_history(args.trajectory)
+            if args.trajectory
+            else None
+        )
+        markdown_path = (
+            Path(args.out)
+            if args.out
+            else Path(args.results).parent / "report.md"
+        )
+        markdown_path.parent.mkdir(parents=True, exist_ok=True)
+        markdown_path.write_text(
+            render_markdown(results, trajectory=history), encoding="utf-8"
+        )
+        print(f"markdown report written to {markdown_path}")
+        if args.html:
+            html_path = Path(args.html)
+            html_path.parent.mkdir(parents=True, exist_ok=True)
+            html_path.write_text(
+                render_html(results, trajectory=history), encoding="utf-8"
+            )
+            print(f"HTML report written to {html_path}")
+        return 0
+
+    if args.action == "compare":
+        new = trajectory_mod.load_bench(args.new)
+        history = trajectory_mod.load_history(args.history)
+        failures, notes = trajectory_mod.compare_trajectory(
+            new,
+            history,
+            tolerance=args.tolerance,
+            significance=args.significance,
+            min_slowdown=args.min_slowdown,
+        )
+        for note in notes:
+            print(f"note: {note}")
+        if failures:
+            print(f"trajectory gate FAILED ({len(failures)} regression(s)):")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("trajectory gate passed")
+        return 0
+
+    # archive: copy the fresh entry in, then apply the retention policy.
+    source = Path(args.bench)
+    payload = trajectory_mod.load_bench(source)
+    target_dir = Path(args.dir)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    if args.label:
+        payload["label"] = args.label
+        target = trajectory_mod.write_bench(
+            payload, target_dir / f"BENCH_{args.label}.json"
+        )
+    else:
+        target = target_dir / f"BENCH_{payload['label']}.json"
+        shutil.copyfile(source, target)
+    pruned = trajectory_mod.prune_archive(target_dir, keep=args.keep)
+    print(
+        f"archived {target} (pruned {len(pruned)} old "
+        f"entr{'y' if len(pruned) == 1 else 'ies'}, keep={args.keep})"
+    )
+    return 0
+
+
 def _run_stats(path: str | None, output_format: str) -> int:
     """Render a metrics snapshot as a table, JSON or Prometheus text."""
     from .obs import get_registry
@@ -757,6 +971,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if name == "serve":
         return _run_serve(args)
+
+    if name == "experiment":
+        return _run_experiment(args)
 
     if name == "stats":
         return _run_stats(args.path, args.format)

@@ -1,0 +1,156 @@
+"""A tiny tidy-dataframe: the zero-dependency substrate under results.
+
+The experiment layer is *pandas-backed* wherever pandas is importable
+(:meth:`TidyFrame.to_pandas` hands the same records to a real
+``pandas.DataFrame``), but the container that runs tier-1 tests carries
+no pandas, so every operation the harness actually needs -- column
+access, row filtering, group-by, JSON/CSV round-trips -- is implemented
+here over plain records. Statistics are computed with NumPy either way,
+so results are bit-identical with and without pandas installed.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Callable, Iterable, Iterator, Mapping
+
+from ...errors import ValidationError
+
+__all__ = ["TidyFrame", "pandas_available"]
+
+
+def pandas_available() -> bool:
+    """True when a real pandas is importable in this interpreter."""
+    try:
+        import pandas  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+class TidyFrame:
+    """An immutable-ish tidy table: ordered records sharing one schema.
+
+    Records are plain ``{column: value}`` dicts; the column order of the
+    first record is the canonical order. Missing keys in later records
+    surface as ``None`` rather than raising, mirroring how pandas fills
+    ``NaN`` -- experiment rows from different workload kinds legitimately
+    differ (``k`` is only set for top-k trials).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[Mapping[str, object]] = (),
+        columns: list[str] | None = None,
+    ) -> None:
+        self._records: list[dict[str, object]] = [dict(r) for r in records]
+        if columns is not None:
+            self._columns = list(columns)
+        else:
+            self._columns = []
+            seen = set()
+            for record in self._records:
+                for key in record:
+                    if key not in seen:
+                        seen.add(key)
+                        self._columns.append(key)
+
+    # -- basic introspection ------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        return iter(self.records())
+
+    def records(self) -> list[dict[str, object]]:
+        """The rows as plain dicts (copies; mutating them is safe)."""
+        return [dict(r) for r in self._records]
+
+    def column(self, name: str) -> list[object]:
+        """One column across all rows (``None`` where a row lacks it)."""
+        if self._records and all(name not in r for r in self._records):
+            raise ValidationError(f"unknown column {name!r}")
+        return [r.get(name) for r in self._records]
+
+    # -- relational operations ----------------------------------------
+    def filter(self, **equals: object) -> TidyFrame:
+        """Rows where every given column equals the given value."""
+        rows = [
+            r
+            for r in self._records
+            if all(r.get(k) == v for k, v in equals.items())
+        ]
+        return TidyFrame(rows, columns=self._columns)
+
+    def where(self, predicate: Callable[[dict[str, object]], bool]) -> TidyFrame:
+        """Rows where ``predicate(row)`` holds."""
+        return TidyFrame(
+            [r for r in self._records if predicate(dict(r))],
+            columns=self._columns,
+        )
+
+    def unique(self, name: str) -> list[object]:
+        """Distinct values of one column, in first-appearance order."""
+        seen: dict[object, None] = {}
+        for value in self.column(name):
+            if value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def groupby(
+        self, keys: list[str]
+    ) -> list[tuple[tuple[object, ...], "TidyFrame"]]:
+        """Split into per-group frames, groups in first-appearance order."""
+        groups: dict[tuple[object, ...], list[dict[str, object]]] = {}
+        for record in self._records:
+            group = tuple(record.get(k) for k in keys)
+            groups.setdefault(group, []).append(record)
+        return [
+            (group, TidyFrame(rows, columns=self._columns))
+            for group, rows in groups.items()
+        ]
+
+    # -- serialization ------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {"columns": self._columns, "records": self._records},
+            indent=2,
+            sort_keys=False,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> TidyFrame:
+        payload = json.loads(text)
+        return cls(payload["records"], columns=payload.get("columns"))
+
+    def to_csv(self) -> str:
+        """RFC-4180 CSV text with the frame's column order."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=self._columns, extrasaction="ignore"
+        )
+        writer.writeheader()
+        for record in self._records:
+            writer.writerow({k: record.get(k, "") for k in self._columns})
+        return buffer.getvalue()
+
+    def to_pandas(self):
+        """The same records as a real ``pandas.DataFrame``.
+
+        Raises :class:`~repro.errors.ValidationError` when pandas is not
+        importable -- callers gate on :func:`pandas_available` first.
+        """
+        try:
+            import pandas
+        except ImportError:
+            raise ValidationError(
+                "pandas is not installed; use the TidyFrame API "
+                "(records/column/groupby) instead"
+            ) from None
+        return pandas.DataFrame(self._records, columns=self._columns)

@@ -1,0 +1,311 @@
+"""Markdown + HTML experiment reports over :class:`ExperimentResults`.
+
+Extends :mod:`repro.eval.reporting` (the paper-style text tables) with
+the comparative artifacts the harness exists for: the summary table with
+bootstrap CIs and Mann-Whitney p-values, the speedup matrix against the
+named baseline engine, per-figure sweep tables regenerated from archived
+runs, and (when a trajectory archive is supplied) the per-PR wall-clock
+trend table.
+
+Both renderers walk the same section model, so the HTML report is the
+markdown report with styling -- never a diverging second implementation.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+
+from .results import ExperimentResults
+from .trajectory import trend_markdown
+
+__all__ = ["render_html", "render_markdown"]
+
+
+def _fmt(value: object) -> str:
+    """One number-formatting policy for every table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    number = float(value)
+    if number == int(number) and abs(number) < 1e9:
+        return str(int(number))
+    if 0 < abs(number) < 1e-3 or abs(number) >= 1e6:
+        return f"{number:.3e}"
+    return f"{number:.4g}"
+
+
+@dataclass
+class _Table:
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+    note: str = ""
+
+
+@dataclass
+class _Report:
+    title: str
+    preamble: list[str]
+    tables: list[_Table] = field(default_factory=list)
+    trend: str = ""
+
+
+def _preamble(results: ExperimentResults) -> list[str]:
+    meta = results.meta
+    config = results.config
+    lines = []
+    if meta:
+        lines.append(
+            "run: "
+            + ", ".join(
+                f"{key}={meta[key]}"
+                for key in ("git_hash", "host", "cpu_count", "python")
+                if key in meta
+            )
+        )
+    if config:
+        lines.append(
+            "config: "
+            + ", ".join(
+                f"{key}={config[key]}"
+                for key in ("engines", "kinds", "repeats", "seed")
+                if key in config
+            )
+        )
+    lines.append(f"baseline engine: `{results.baseline_engine}`")
+    lines.append(f"trials: {len(results.rows)}")
+    return lines
+
+
+def _summary_table(results: ExperimentResults) -> _Table:
+    headers = [
+        "engine",
+        "cell",
+        "repeats",
+        "median s",
+        "95% CI",
+        "speedup",
+        "p (MWU)",
+        "io",
+        "candidates",
+        "answers",
+    ]
+    rows = []
+    for record in results.summary_records:
+        rows.append(
+            [
+                str(record["engine"]),
+                str(record["cell"]),
+                _fmt(record["repeats"]),
+                f"{float(record['median_seconds']):.4f}",
+                f"[{float(record['ci_low']):.4f}, {float(record['ci_high']):.4f}]",
+                _fmt(record["speedup_vs_baseline"]),
+                (
+                    "-"
+                    if record["p_value"] is None
+                    else f"{float(record['p_value']):.4f}"
+                ),
+                _fmt(record["io_accesses"]),
+                _fmt(record["candidates"]),
+                _fmt(record["answers"]),
+            ]
+        )
+    return _Table(
+        "Summary (median over repeats, bootstrap CI, Mann-Whitney vs baseline)",
+        headers,
+        rows,
+    )
+
+
+def _speedup_table(results: ExperimentResults) -> _Table:
+    headers = ["engine \\ cell", *results.cells]
+    rows = []
+    for engine in results.engines:
+        cells = results.speedup_matrix[engine]
+        rows.append(
+            [engine]
+            + [
+                "-" if cells[cell] is None else f"{cells[cell]:.2f}x"
+                for cell in results.cells
+            ]
+        )
+    return _Table(
+        f"Speedup matrix (median seconds of `{results.baseline_engine}` "
+        "over each engine; >1 is faster)",
+        headers,
+        rows,
+        note="Wall-clock ratios are machine-local; counters are "
+        "deterministic under the config's seed.",
+    )
+
+
+def _figure_tables(results: ExperimentResults) -> list[_Table]:
+    """Per-(kind, weights) sweep tables: the paper-figure series shape.
+
+    A gamma sweep regenerates the Fig. 7 table, an alpha sweep Fig. 8, a
+    scale sweep Fig. 12 -- straight from the archived frame, no re-run.
+    """
+    frame = results.frame
+    tables = []
+    kinds = [str(k) for k in frame.unique("kind")]
+    weights = [str(w) for w in frame.unique("weights")]
+    for kind in kinds:
+        for weight in weights:
+            subset = frame.filter(kind=kind, weights=weight)
+            if len(subset) == 0:
+                continue
+            headers = ["engine", "scale", "gamma", "alpha", "median s", "io", "cand"]
+            rows = []
+            seen: dict[tuple, None] = {}
+            for record in subset.records():
+                axis = (
+                    str(record["engine"]),
+                    str(record["scale"]),
+                    record["gamma"],
+                    record["alpha"],
+                )
+                if axis in seen:
+                    continue
+                seen[axis] = None
+                group = subset.filter(
+                    engine=record["engine"],
+                    scale=record["scale"],
+                    gamma=record["gamma"],
+                    alpha=record["alpha"],
+                )
+                seconds = sorted(float(r["seconds"]) for r in group.records())
+                median = seconds[len(seconds) // 2]
+                first = group.records()[0]
+                rows.append(
+                    [
+                        str(record["engine"]),
+                        str(record["scale"]),
+                        _fmt(record["gamma"]),
+                        _fmt(record["alpha"]),
+                        f"{median:.4f}",
+                        _fmt(first.get("io_accesses")),
+                        _fmt(first.get("candidates")),
+                    ]
+                )
+            tables.append(
+                _Table(f"Series: kind={kind}, weights={weight}", headers, rows)
+            )
+    return tables
+
+
+def _build(results: ExperimentResults, trajectory=None, fresh=None) -> _Report:
+    report = _Report(
+        title=f"Experiment report: {results.name}",
+        preamble=_preamble(results),
+    )
+    report.tables.append(_summary_table(results))
+    report.tables.append(_speedup_table(results))
+    report.tables.extend(_figure_tables(results))
+    if trajectory is not None:
+        report.trend = trend_markdown(trajectory, new=fresh)
+    return report
+
+
+def render_markdown(
+    results: ExperimentResults,
+    trajectory: list[dict] | None = None,
+    fresh: dict | None = None,
+) -> str:
+    """The full report as GitHub-flavored markdown."""
+    report = _build(results, trajectory, fresh)
+    lines = [f"# {report.title}", ""]
+    for line in report.preamble:
+        lines.append(f"- {line}")
+    lines.append("")
+    for table in report.tables:
+        lines.append(f"## {table.title}")
+        lines.append("")
+        lines.append("| " + " | ".join(table.headers) + " |")
+        lines.append("|---" * len(table.headers) + "|")
+        for row in table.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        if table.note:
+            lines.append("")
+            lines.append(f"_{table.note}_")
+        lines.append("")
+    if report.trend:
+        lines.append("## Trajectory (median seconds per archived run)")
+        lines.append("")
+        lines.append(report.trend.rstrip())
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_HTML_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #ddd; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .9rem; }
+th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #f2f2f2; }
+tr:nth-child(even) td { background: #fafafa; }
+.note { color: #666; font-style: italic; }
+""".strip()
+
+
+def render_html(
+    results: ExperimentResults,
+    trajectory: list[dict] | None = None,
+    fresh: dict | None = None,
+) -> str:
+    """The same report as a standalone HTML page (no external assets)."""
+    report = _build(results, trajectory, fresh)
+    parts = [
+        "<!doctype html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(report.title)}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{html.escape(report.title)}</h1>",
+        "<ul>",
+    ]
+    for line in report.preamble:
+        parts.append(f"<li>{html.escape(line)}</li>")
+    parts.append("</ul>")
+    for table in report.tables:
+        parts.append(f"<h2>{html.escape(table.title)}</h2>")
+        parts.append("<table><thead><tr>")
+        for header in table.headers:
+            parts.append(f"<th>{html.escape(header)}</th>")
+        parts.append("</tr></thead><tbody>")
+        for row in table.rows:
+            parts.append(
+                "<tr>"
+                + "".join(f"<td>{html.escape(cell)}</td>" for cell in row)
+                + "</tr>"
+            )
+        parts.append("</tbody></table>")
+        if table.note:
+            parts.append(f"<p class='note'>{html.escape(table.note)}</p>")
+    if report.trend:
+        parts.append("<h2>Trajectory (median seconds per archived run)</h2>")
+        lines = [
+            line for line in report.trend.strip().splitlines() if line.strip()
+        ]
+        if lines and lines[0].startswith("|"):
+            parts.append("<table><thead><tr>")
+            headers = [c.strip() for c in lines[0].strip("|").split("|")]
+            for header in headers:
+                parts.append(f"<th>{html.escape(header)}</th>")
+            parts.append("</tr></thead><tbody>")
+            for line in lines[2:]:
+                cells = [c.strip() for c in line.strip("|").split("|")]
+                parts.append(
+                    "<tr>"
+                    + "".join(
+                        f"<td>{html.escape(cell)}</td>" for cell in cells
+                    )
+                    + "</tr>"
+                )
+            parts.append("</tbody></table>")
+        else:
+            parts.append(f"<p>{html.escape(report.trend)}</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

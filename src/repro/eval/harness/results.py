@@ -1,0 +1,312 @@
+"""ExperimentResults: lazy, cached analysis over the experiment frame.
+
+Modeled on fuzzbench's ``analysis/experiment_results.py``: the results
+object wraps the tidy per-trial dataframe and exposes every derived
+quantity -- median tables, speedup matrices against a named baseline
+engine, bootstrap confidence intervals, Mann-Whitney U p-values -- as a
+:func:`lazy_property` that is computed at most once and memoized, so a
+report template only pays for the sections it actually renders.
+
+The frame is pandas-backed when pandas is importable
+(:attr:`ExperimentResults.pandas` hands back a real ``DataFrame``); all
+statistics run on NumPy over the same records either way, so the numbers
+are identical in both environments.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ...errors import ValidationError
+from .frame import TidyFrame
+from .stats import bootstrap_ci, mann_whitney_u
+
+__all__ = ["ExperimentResults", "lazy_property"]
+
+#: The axes that identify one workload cell (everything but the engine).
+CELL_AXES = ("kind", "weights", "scale", "gamma", "alpha")
+
+#: Counter columns summarized per cell alongside the timings.
+COUNTER_COLUMNS = ("io_accesses", "candidates", "answers")
+
+
+class lazy_property:  # noqa: N801 - descriptor, named like @property
+    """A property computed at most once per instance, then cached.
+
+    Compute counts are recorded in ``instance.compute_counts`` so tests
+    can assert the "exactly once" contract instead of trusting it.
+    """
+
+    def __init__(self, func) -> None:
+        self.func = func
+        functools.update_wrapper(self, func)
+        self.name = func.__name__
+
+    def __set_name__(self, owner, name) -> None:
+        self.name = name
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        cache = instance.__dict__.setdefault("_lazy_cache", {})
+        if self.name not in cache:
+            counts = instance.__dict__.setdefault("compute_counts", {})
+            counts[self.name] = counts.get(self.name, 0) + 1
+            cache[self.name] = self.func(instance)
+        return cache[self.name]
+
+
+def cell_label(record: dict[str, object]) -> str:
+    """Stable human-readable identity of one workload cell."""
+    parts = [
+        str(record.get("kind")),
+        str(record.get("weights")),
+        str(record.get("scale")),
+        f"g{record.get('gamma')}",
+    ]
+    if record.get("alpha") is not None:
+        parts.append(f"a{record.get('alpha')}")
+    return "/".join(parts)
+
+
+class ExperimentResults:
+    """Analysis interface over one experiment's tidy trial rows."""
+
+    def __init__(
+        self,
+        rows: list[dict[str, object]],
+        name: str = "experiment",
+        baseline_engine: str = "baseline",
+        config: dict[str, object] | None = None,
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        if not rows:
+            raise ValidationError("ExperimentResults needs at least one row")
+        self.rows = [dict(r) for r in rows]
+        self.name = name
+        self.baseline_engine = baseline_engine
+        self.config = dict(config or {})
+        self.meta = dict(meta or {})
+        self.compute_counts: dict[str, int] = {}
+
+    # -- persistence --------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Archive the result set (schema-stable JSON) and return the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": 1,
+            "name": self.name,
+            "baseline_engine": self.baseline_engine,
+            "config": self.config,
+            "meta": self.meta,
+            "rows": self.rows,
+        }
+        target.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResults":
+        """Reload an archived result set written by :meth:`save`."""
+        target = Path(path)
+        if not target.is_file():
+            raise ValidationError(f"no archived results at {target}")
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        if payload.get("schema") != 1:
+            raise ValidationError(
+                f"unsupported results schema {payload.get('schema')!r} in {target}"
+            )
+        return cls(
+            payload["rows"],
+            name=payload.get("name", "experiment"),
+            baseline_engine=payload.get("baseline_engine", "baseline"),
+            config=payload.get("config"),
+            meta=payload.get("meta"),
+        )
+
+    # -- the frame ----------------------------------------------------
+    @lazy_property
+    def frame(self) -> TidyFrame:
+        """The tidy per-trial frame (one row per trial)."""
+        return TidyFrame(self.rows)
+
+    @property
+    def pandas(self):
+        """The same frame as a real ``pandas.DataFrame`` (needs pandas)."""
+        return self.frame.to_pandas()
+
+    @lazy_property
+    def engines(self) -> list[str]:
+        """Engines present, baseline first, then first-appearance order."""
+        names = [str(e) for e in self.frame.unique("engine")]
+        if self.baseline_engine in names:
+            names.remove(self.baseline_engine)
+            names.insert(0, self.baseline_engine)
+        return names
+
+    @lazy_property
+    def cells(self) -> list[str]:
+        """Every workload cell label, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self.rows:
+            seen.setdefault(cell_label(record), None)
+        return list(seen)
+
+    @lazy_property
+    def _groups(self) -> dict[tuple[str, str], list[dict[str, object]]]:
+        """(engine, cell) -> that cell's repeat rows."""
+        groups: dict[tuple[str, str], list[dict[str, object]]] = {}
+        for record in self.rows:
+            key = (str(record.get("engine")), cell_label(record))
+            groups.setdefault(key, []).append(record)
+        return groups
+
+    def samples(self, engine: str, cell: str, column: str = "seconds") -> list[float]:
+        """Per-repeat samples of one column for one (engine, cell)."""
+        rows = self._groups.get((engine, cell))
+        if not rows:
+            raise ValidationError(f"no trials for engine={engine!r} cell={cell!r}")
+        return [float(r[column]) for r in rows if r.get(column) is not None]
+
+    # -- derived statistics -------------------------------------------
+    @lazy_property
+    def median_seconds(self) -> dict[tuple[str, str], float]:
+        """Median wall-clock seconds per (engine, cell)."""
+        return {
+            key: float(np.median([float(r["seconds"]) for r in rows]))
+            for key, rows in self._groups.items()
+        }
+
+    @lazy_property
+    def median_counters(self) -> dict[tuple[str, str], dict[str, float]]:
+        """Median deterministic counters per (engine, cell)."""
+        return {
+            key: {
+                column: float(
+                    np.median(
+                        [
+                            float(r[column])
+                            for r in rows
+                            if r.get(column) is not None
+                        ]
+                        or [0.0]
+                    )
+                )
+                for column in COUNTER_COLUMNS
+            }
+            for key, rows in self._groups.items()
+        }
+
+    @lazy_property
+    def speedup_matrix(self) -> dict[str, dict[str, float | None]]:
+        """Engine -> cell -> median-seconds speedup vs the baseline engine.
+
+        ``speedup > 1`` means the engine is faster than the baseline on
+        that cell. Cells the baseline did not run are ``None``.
+        """
+        matrix: dict[str, dict[str, float | None]] = {}
+        for engine in self.engines:
+            row: dict[str, float | None] = {}
+            for cell in self.cells:
+                base = self.median_seconds.get((self.baseline_engine, cell))
+                mine = self.median_seconds.get((engine, cell))
+                if base is None or mine is None or mine <= 0.0:
+                    row[cell] = None
+                else:
+                    row[cell] = base / mine
+            matrix[engine] = row
+        return matrix
+
+    @lazy_property
+    def bootstrap_cis(self) -> dict[tuple[str, str], tuple[float, float]]:
+        """95% bootstrap CI of median seconds per (engine, cell).
+
+        Reproducible: the bootstrap seed is derived from the experiment
+        seed, so re-rendering a report never shuffles the intervals.
+        """
+        seed = int(self.config.get("seed", 0))
+        return {
+            key: bootstrap_ci(
+                [float(r["seconds"]) for r in rows], seed=seed
+            )
+            for key, rows in self._groups.items()
+        }
+
+    @lazy_property
+    def pvalues(self) -> dict[tuple[str, str], float | None]:
+        """Two-sided Mann-Whitney U p-value, engine vs baseline, per cell.
+
+        ``None`` for the baseline itself, for cells the baseline did not
+        run, and for cells with fewer than two repeats on either side
+        (a single sample supports no distributional claim).
+        """
+        out: dict[tuple[str, str], float | None] = {}
+        for (engine, cell), rows in self._groups.items():
+            if engine == self.baseline_engine:
+                out[(engine, cell)] = None
+                continue
+            base_rows = self._groups.get((self.baseline_engine, cell))
+            if base_rows is None or len(rows) < 2 or len(base_rows) < 2:
+                out[(engine, cell)] = None
+                continue
+            _, p = mann_whitney_u(
+                [float(r["seconds"]) for r in rows],
+                [float(r["seconds"]) for r in base_rows],
+            )
+            out[(engine, cell)] = p
+        return out
+
+    @lazy_property
+    def summary_records(self) -> list[dict[str, object]]:
+        """One record per (engine, cell): the report's main table."""
+        records: list[dict[str, object]] = []
+        for engine in self.engines:
+            for cell in self.cells:
+                key = (engine, cell)
+                if key not in self._groups:
+                    continue
+                low, high = self.bootstrap_cis[key]
+                counters = self.median_counters[key]
+                records.append(
+                    {
+                        "engine": engine,
+                        "cell": cell,
+                        "repeats": len(self._groups[key]),
+                        "median_seconds": self.median_seconds[key],
+                        "ci_low": low,
+                        "ci_high": high,
+                        "speedup_vs_baseline": self.speedup_matrix[engine][cell],
+                        "p_value": self.pvalues[key],
+                        **counters,
+                    }
+                )
+        return records
+
+    @lazy_property
+    def bench_samples(self) -> dict[str, dict[str, list[float]]]:
+        """Trajectory payload shape: bench name -> key -> repeat samples.
+
+        Bench names are ``engine.cell`` (dots join the trajectory's
+        ``bench.key`` addressing); ``seconds`` carries every repeat so
+        the compare-trajectory gate can run real statistics, counters
+        carry their per-repeat values too (deterministic, so identical).
+        """
+        payload: dict[str, dict[str, list[float]]] = {}
+        for (engine, cell), rows in self._groups.items():
+            name = f"{engine}:{cell}"
+            series: dict[str, list[float]] = {
+                "seconds": [float(r["seconds"]) for r in rows]
+            }
+            for column in COUNTER_COLUMNS:
+                series[column] = [
+                    float(r[column]) for r in rows if r.get(column) is not None
+                ]
+            payload[name] = series
+        return payload

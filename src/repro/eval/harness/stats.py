@@ -1,0 +1,100 @@
+"""Statistics for honest perf comparisons: bootstrap CIs, Mann-Whitney U.
+
+Both are implemented over NumPy only, so the results are deterministic
+and identical whether or not scipy/pandas happen to be importable in the
+running interpreter. The Mann-Whitney test uses the tie-corrected normal
+approximation with continuity correction -- exactly what a benchmark
+gate needs: at the tiny sample sizes CI affords (3-10 repeats) the
+approximation is conservative, which errs on the side of *not* failing a
+build on noise.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from ...errors import ValidationError
+
+__all__ = ["bootstrap_ci", "mann_whitney_u"]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: int = 0,
+    statistic: str = "median",
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval of a location statistic.
+
+    Reproducible under a fixed ``seed`` (same samples -> same interval,
+    bit for bit). A single observation degrades to a zero-width interval
+    at that value rather than raising: trajectory entries with one repeat
+    still render in reports.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValidationError("bootstrap_ci needs at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(f"confidence must be in (0,1), got {confidence}")
+    if statistic not in ("median", "mean"):
+        raise ValidationError(f"unknown statistic {statistic!r}")
+    if data.size == 1:
+        return float(data[0]), float(data[0])
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(data, size=(n_boot, data.size), replace=True)
+    stat = np.median if statistic == "median" else np.mean
+    estimates = stat(samples, axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(estimates, [tail, 1.0 - tail])
+    return float(low), float(high)
+
+
+def mann_whitney_u(
+    a: Sequence[float], b: Sequence[float]
+) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U test; returns ``(U_a, p_value)``.
+
+    ``U_a`` counts pairs where ``a`` beats ``b`` (ties count half). The
+    p-value uses the tie-corrected normal approximation with continuity
+    correction; with all-tied samples (zero variance) it degrades to
+    ``p = 1.0``, i.e. "no evidence of a difference".
+    """
+    xs = np.asarray(list(a), dtype=float)
+    ys = np.asarray(list(b), dtype=float)
+    if xs.size == 0 or ys.size == 0:
+        raise ValidationError("mann_whitney_u needs non-empty samples")
+    n1, n2 = xs.size, ys.size
+    pooled = np.concatenate([xs, ys])
+    order = np.argsort(pooled, kind="mergesort")
+    ranks = np.empty(pooled.size, dtype=float)
+    # Average ranks over ties (1-based ranks, scanning sorted runs).
+    sorted_values = pooled[order]
+    index = 0
+    while index < pooled.size:
+        stop = index
+        while (
+            stop + 1 < pooled.size
+            and sorted_values[stop + 1] == sorted_values[index]
+        ):
+            stop += 1
+        average_rank = (index + stop) / 2.0 + 1.0
+        ranks[order[index : stop + 1]] = average_rank
+        index = stop + 1
+    rank_sum_a = float(ranks[:n1].sum())
+    u_a = rank_sum_a - n1 * (n1 + 1) / 2.0
+    mean_u = n1 * n2 / 2.0
+    # Tie correction on the variance.
+    _, tie_counts = np.unique(pooled, return_counts=True)
+    tie_term = float(((tie_counts**3) - tie_counts).sum())
+    n = n1 + n2
+    variance = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if variance <= 0.0:
+        return u_a, 1.0
+    z = (abs(u_a - mean_u) - 0.5) / math.sqrt(variance)
+    z = max(z, 0.0)
+    p = math.erfc(z / math.sqrt(2.0))
+    return u_a, min(1.0, max(0.0, p))

@@ -1,0 +1,330 @@
+"""Per-PR benchmark trajectory: stable BENCH_*.json schema + gating.
+
+Every CI run writes one ``BENCH_<label>.json`` in the schema below; the
+archived set of those files *is* the repo's perf trajectory, and
+``check_regression.py compare-trajectory`` turns it into a statistical
+regression gate (Mann-Whitney U over per-repeat samples) instead of a
++/-30% point tolerance against one hand-maintained baseline.
+
+Schema (``schema: 1``)::
+
+    {
+      "schema": 1,
+      "label": "PR42",
+      "meta": {"timestamp": ..., "git_hash": ..., "cpu_count": ...,
+               "host": "Linux-x86_64-cpu8", ...},
+      "benches": {"fig06_small": {"imgrn_query_seconds": 0.12, ...}},
+      "samples": {"fig06_small": {"imgrn_query_seconds": [0.12, 0.13, 0.11]}}
+    }
+
+``benches`` holds per-key medians (byte-compatible with the legacy
+``baseline.json`` gate); ``samples`` holds every repeat so statistics
+are possible. Wall-clock comparisons are only made between entries whose
+``meta.host`` matches the new run -- cross-machine timings are not an
+A/B experiment -- and degrade gracefully: too little history falls back
+to the old tolerance check against the most recent comparable entry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ...errors import ValidationError
+from .runner import host_meta
+from .stats import mann_whitney_u
+
+__all__ = [
+    "bench_payload",
+    "compare_trajectory",
+    "load_bench",
+    "load_history",
+    "prune_archive",
+    "trend_markdown",
+    "write_bench",
+]
+
+SCHEMA = 1
+
+
+def _is_seconds_key(key: str) -> bool:
+    return "seconds" in key
+
+
+def _is_machine_ratio_key(key: str) -> bool:
+    return "speedup" in key or "_over_" in key
+
+
+def bench_payload(
+    samples: dict[str, dict[str, list[float]]],
+    label: str,
+    meta: dict[str, object] | None = None,
+) -> dict[str, object]:
+    """Build one trajectory entry from per-repeat samples.
+
+    ``benches`` (the per-key medians) is derived, so the legacy
+    ``check_regression.py --baseline`` gate reads the same file.
+    """
+    benches = {
+        bench: {
+            key: float(np.median(values))
+            for key, values in series.items()
+            if values
+        }
+        for bench, series in samples.items()
+    }
+    full_meta: dict[str, object] = {"timestamp": time.time(), **host_meta()}
+    if meta:
+        full_meta.update(meta)
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "meta": full_meta,
+        "benches": benches,
+        "samples": {
+            bench: {k: [float(v) for v in vs] for k, vs in series.items()}
+            for bench, series in samples.items()
+        },
+    }
+
+
+def write_bench(payload: dict[str, object], path: str | Path) -> Path:
+    """Write one trajectory entry (stable JSON) and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+def load_bench(path: str | Path) -> dict[str, object]:
+    """Load one BENCH_*.json; legacy files (no schema/samples) upconvert."""
+    target = Path(path)
+    if not target.is_file():
+        raise ValidationError(f"no bench file at {target}")
+    payload = json.loads(target.read_text(encoding="utf-8"))
+    if "benches" not in payload:
+        raise ValidationError(f"{target} carries no 'benches' mapping")
+    payload.setdefault("schema", 0)
+    payload.setdefault("label", target.stem.removeprefix("BENCH_"))
+    payload.setdefault("meta", {})
+    payload.setdefault(
+        "samples",
+        {
+            bench: {key: [float(value)] for key, value in metrics.items()}
+            for bench, metrics in payload["benches"].items()
+        },
+    )
+    return payload
+
+
+def load_history(directory: str | Path) -> list[dict[str, object]]:
+    """Load every BENCH_*.json under a directory, oldest first.
+
+    Ordering is by ``meta.timestamp`` (falling back to file mtime), so
+    the newest comparable entry is ``history[-1]``.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    entries = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        payload = load_bench(path)
+        stamp = payload.get("meta", {}).get("timestamp")
+        entries.append(
+            (float(stamp) if stamp is not None else path.stat().st_mtime, payload)
+        )
+    entries.sort(key=lambda pair: pair[0])
+    return [payload for _, payload in entries]
+
+
+def prune_archive(directory: str | Path, keep: int = 20) -> list[Path]:
+    """Retention policy: keep the newest ``keep`` entries, delete the rest.
+
+    Returns the deleted paths. Ordering matches :func:`load_history`.
+    """
+    root = Path(directory)
+    if keep < 1:
+        raise ValidationError(f"keep must be >= 1, got {keep}")
+    if not root.is_dir():
+        return []
+    stamped = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            payload = load_bench(path)
+        except (ValidationError, json.JSONDecodeError):
+            continue
+        stamp = payload.get("meta", {}).get("timestamp")
+        stamped.append(
+            (float(stamp) if stamp is not None else path.stat().st_mtime, path)
+        )
+    stamped.sort(key=lambda pair: pair[0])
+    doomed = [path for _, path in stamped[:-keep]] if len(stamped) > keep else []
+    for path in doomed:
+        path.unlink()
+    return doomed
+
+
+def _comparable(new: dict, history: list[dict]) -> list[dict]:
+    """History entries whose host matches the new run's host."""
+    host = new.get("meta", {}).get("host")
+    if not host:
+        return list(history)
+    return [
+        entry for entry in history if entry.get("meta", {}).get("host") == host
+    ]
+
+
+def _samples_for(entry: dict, bench: str, key: str) -> list[float]:
+    series = entry.get("samples", {}).get(bench, {}).get(key)
+    if series:
+        return [float(v) for v in series]
+    value = entry.get("benches", {}).get(bench, {}).get(key)
+    return [float(value)] if value is not None else []
+
+
+def compare_trajectory(
+    new: dict,
+    history: list[dict],
+    tolerance: float = 0.30,
+    significance: float = 0.05,
+    min_slowdown: float = 0.10,
+    min_samples: int = 3,
+    window: int = 5,
+) -> tuple[list[str], list[str]]:
+    """Gate a fresh run against the archived trajectory.
+
+    Returns ``(failures, notes)``; an empty failures list passes.
+
+    * ``*seconds*`` keys: with enough per-repeat samples (>= 2 new and
+      >= ``min_samples`` pooled over the last ``window`` comparable
+      entries), a regression needs *both* a median slowdown beyond
+      ``min_slowdown`` *and* Mann-Whitney significance below
+      ``significance`` -- noise alone cannot fail the gate, and neither
+      can a statistically-real-but-negligible drift. With thin history
+      the check degrades to the legacy point tolerance against the most
+      recent comparable entry. Getting faster never fails.
+    * deterministic counters: tolerance drift check in either direction
+      against the most recent comparable entry.
+    * ``speedup*`` / ``*_over_*`` ratios: machine-dependent, skipped
+      (the legacy baseline gate owns their floors).
+    * entries recorded on a different host are excluded from wall-clock
+      claims entirely.
+    """
+    failures: list[str] = []
+    notes: list[str] = []
+    comparable = _comparable(new, history)
+    skipped = len(history) - len(comparable)
+    if skipped:
+        notes.append(
+            f"ignored {skipped} history entr{'y' if skipped == 1 else 'ies'} "
+            "from other hosts (wall-clock is not comparable across machines)"
+        )
+    if not comparable:
+        notes.append(
+            "no comparable trajectory history: nothing to gate against "
+            "(this run seeds the archive)"
+        )
+        return failures, notes
+    reference = comparable[-1]
+    recent = comparable[-window:]
+    new_benches = new.get("benches", {})
+    for bench, ref_metrics in sorted(reference.get("benches", {}).items()):
+        got_metrics = new_benches.get(bench)
+        if got_metrics is None:
+            failures.append(f"{bench}: missing from the new run")
+            continue
+        for key, ref_value in sorted(ref_metrics.items()):
+            if _is_machine_ratio_key(key):
+                continue
+            if key not in got_metrics:
+                failures.append(f"{bench}.{key}: missing from the new run")
+                continue
+            got = float(got_metrics[key])
+            ref = float(ref_value)
+            if _is_seconds_key(key):
+                new_samples = _samples_for(new, bench, key)
+                hist_samples = [
+                    v
+                    for entry in recent
+                    for v in _samples_for(entry, bench, key)
+                ]
+                new_median = float(np.median(new_samples)) if new_samples else got
+                if len(new_samples) >= 2 and len(hist_samples) >= min_samples:
+                    hist_median = float(np.median(hist_samples))
+                    if hist_median <= 0.0:
+                        continue
+                    slowdown = new_median / hist_median - 1.0
+                    if slowdown <= min_slowdown:
+                        continue
+                    _, p = mann_whitney_u(new_samples, hist_samples)
+                    if p < significance:
+                        failures.append(
+                            f"{bench}.{key}: median {new_median:.4f}s is "
+                            f"{slowdown:+.1%} vs trajectory median "
+                            f"{hist_median:.4f}s over {len(hist_samples)} "
+                            f"sample(s) (Mann-Whitney p={p:.4f} < "
+                            f"{significance:g})"
+                        )
+                else:
+                    # Thin history: the legacy point-tolerance check.
+                    limit = ref * (1.0 + tolerance)
+                    if new_median > limit:
+                        failures.append(
+                            f"{bench}.{key}: {new_median:.4f}s exceeds "
+                            f"{ref:.4f}s * (1+{tolerance:.2f}) = {limit:.4f}s "
+                            "(single-sample fallback)"
+                        )
+            else:
+                drift = abs(got - ref) / max(abs(ref), 1.0)
+                if drift > tolerance:
+                    failures.append(
+                        f"{bench}.{key}: {got:g} drifted {drift:.1%} from the "
+                        f"latest trajectory entry {ref:g} "
+                        f"(tolerance {tolerance:.0%})"
+                    )
+    notes.append(
+        f"gated against {len(comparable)} comparable entr"
+        f"{'y' if len(comparable) == 1 else 'ies'} "
+        f"(latest: {reference.get('label', '?')})"
+    )
+    return failures, notes
+
+
+def trend_markdown(
+    history: list[dict],
+    new: dict | None = None,
+    max_entries: int = 8,
+) -> str:
+    """Render the wall-clock trend across trajectory entries as markdown.
+
+    One row per ``bench.key`` seconds series, one column per entry
+    (oldest to newest, the fresh run last) -- the report's trend table.
+    """
+    entries = list(history[-max_entries:])
+    if new is not None:
+        entries.append(new)
+    if not entries:
+        return "(no trajectory entries)\n"
+    labels = [str(entry.get("label", "?")) for entry in entries]
+    keys: dict[tuple[str, str], None] = {}
+    for entry in entries:
+        for bench, metrics in sorted(entry.get("benches", {}).items()):
+            for key in sorted(metrics):
+                if _is_seconds_key(key) and not _is_machine_ratio_key(key):
+                    keys.setdefault((bench, key), None)
+    lines = [
+        "| bench.key | " + " | ".join(labels) + " |",
+        "|---|" + "---|" * len(labels),
+    ]
+    for bench, key in keys:
+        cells = []
+        for entry in entries:
+            value = entry.get("benches", {}).get(bench, {}).get(key)
+            cells.append("-" if value is None else f"{float(value):.4f}")
+        lines.append(f"| {bench}.{key} | " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,204 @@
+"""Tests for the per-PR benchmark trajectory: schema, gate, retention."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.eval.harness.trajectory import (
+    bench_payload,
+    compare_trajectory,
+    load_bench,
+    load_history,
+    prune_archive,
+    trend_markdown,
+    write_bench,
+)
+
+HOST = "test-Linux-cpu4"
+
+
+def entry(label, seconds, host=HOST, timestamp=0.0, counters=None):
+    """One trajectory entry with controlled host/timestamp/samples."""
+    series = {"seconds": list(seconds)}
+    if counters:
+        series.update({k: [float(v)] for k, v in counters.items()})
+    return bench_payload(
+        {"smoke": series},
+        label=label,
+        meta={"host": host, "timestamp": timestamp},
+    )
+
+
+def history_of(*seconds_lists, host=HOST):
+    return [
+        entry(f"h{i}", seconds, host=host, timestamp=float(i))
+        for i, seconds in enumerate(seconds_lists)
+    ]
+
+
+class TestCompareTrajectory:
+    def test_improvement_passes(self):
+        history = history_of([0.20, 0.21, 0.20, 0.22, 0.21])
+        new = entry("new", [0.10, 0.11, 0.10, 0.11, 0.10], timestamp=9.0)
+        failures, _ = compare_trajectory(new, history)
+        assert failures == []
+
+    def test_significant_slowdown_fails(self):
+        history = history_of(
+            [0.10, 0.11, 0.10, 0.11, 0.10],
+            [0.10, 0.10, 0.11, 0.10, 0.11],
+            [0.11, 0.10, 0.10, 0.11, 0.10],
+        )
+        new = entry("new", [0.20, 0.21, 0.20, 0.21, 0.20], timestamp=9.0)
+        failures, _ = compare_trajectory(new, history)
+        assert len(failures) == 1
+        assert "Mann-Whitney" in failures[0]
+
+    def test_small_slowdown_passes_even_if_significant(self):
+        history = history_of(
+            [0.100, 0.101, 0.100, 0.101, 0.100],
+            [0.100, 0.100, 0.101, 0.100, 0.101],
+        )
+        # +5% everywhere: statistically real, below the 10% floor.
+        new = entry("new", [0.105, 0.106, 0.105, 0.106, 0.105], timestamp=9.0)
+        failures, _ = compare_trajectory(new, history)
+        assert failures == []
+
+    def test_single_sample_history_falls_back_to_tolerance(self):
+        history = [entry("old", [0.10], timestamp=0.0)]
+        within = entry("new", [0.12], timestamp=1.0)
+        failures, _ = compare_trajectory(within, history, tolerance=0.30)
+        assert failures == []
+        beyond = entry("new", [0.20], timestamp=1.0)
+        failures, _ = compare_trajectory(beyond, history, tolerance=0.30)
+        assert len(failures) == 1
+        assert "single-sample fallback" in failures[0]
+
+    def test_other_host_history_is_ignored(self):
+        history = history_of([0.01, 0.01, 0.01], host="other-host-cpu64")
+        new = entry("new", [5.0, 5.0, 5.0], timestamp=9.0)
+        failures, notes = compare_trajectory(new, history)
+        assert failures == []
+        assert any("seeds the archive" in note for note in notes)
+        assert any("other hosts" in note for note in notes)
+
+    def test_mixed_hosts_only_comparable_gate(self):
+        fast_elsewhere = history_of([0.01, 0.01, 0.01], host="other")[0]
+        same_host = entry("h1", [0.10, 0.11, 0.10], timestamp=1.0)
+        new = entry("new", [0.11, 0.10, 0.11], timestamp=9.0)
+        failures, notes = compare_trajectory(new, [fast_elsewhere, same_host])
+        assert failures == []
+        assert any("1 comparable entry" in note for note in notes)
+
+    def test_counter_drift_fails_both_directions(self):
+        history = [
+            entry("old", [0.1, 0.1], timestamp=0.0, counters={"io_accesses": 100})
+        ]
+        up = entry(
+            "new", [0.1, 0.1], timestamp=1.0, counters={"io_accesses": 200}
+        )
+        down = entry(
+            "new", [0.1, 0.1], timestamp=1.0, counters={"io_accesses": 50}
+        )
+        for candidate in (up, down):
+            failures, _ = compare_trajectory(candidate, history)
+            assert any("io_accesses" in f for f in failures)
+
+    def test_machine_ratio_keys_skipped(self):
+        history = [
+            bench_payload(
+                {"smoke": {"speedup_threads8": [4.0]}},
+                label="old",
+                meta={"host": HOST, "timestamp": 0.0},
+            )
+        ]
+        new = bench_payload(
+            {"smoke": {"speedup_threads8": [0.5]}},
+            label="new",
+            meta={"host": HOST, "timestamp": 1.0},
+        )
+        failures, _ = compare_trajectory(new, history)
+        assert failures == []
+
+    def test_missing_bench_fails(self):
+        history = [entry("old", [0.1, 0.1], timestamp=0.0)]
+        new = bench_payload(
+            {"unrelated": {"seconds": [0.1]}},
+            label="new",
+            meta={"host": HOST, "timestamp": 1.0},
+        )
+        failures, _ = compare_trajectory(new, history)
+        assert any("missing from the new run" in f for f in failures)
+
+
+class TestPersistence:
+    def test_payload_benches_are_medians(self):
+        payload = entry("x", [0.3, 0.1, 0.2])
+        assert payload["benches"]["smoke"]["seconds"] == pytest.approx(0.2)
+        assert payload["schema"] == 1
+
+    def test_write_load_roundtrip(self, tmp_path):
+        payload = entry("roundtrip", [0.1, 0.2])
+        path = write_bench(payload, tmp_path / "BENCH_roundtrip.json")
+        loaded = load_bench(path)
+        assert loaded["label"] == "roundtrip"
+        assert loaded["samples"]["smoke"]["seconds"] == [0.1, 0.2]
+
+    def test_legacy_file_upconverts(self, tmp_path):
+        path = tmp_path / "BENCH_CI.json"
+        path.write_text(
+            json.dumps({"benches": {"smoke": {"seconds": 0.5}}}),
+            encoding="utf-8",
+        )
+        payload = load_bench(path)
+        assert payload["schema"] == 0
+        assert payload["label"] == "CI"
+        assert payload["samples"]["smoke"]["seconds"] == [0.5]
+
+    def test_load_bench_rejects_garbage(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_bench(tmp_path / "nope.json")
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        with pytest.raises(ValidationError):
+            load_bench(bad)
+
+    def test_history_is_oldest_first(self, tmp_path):
+        for label, stamp in (("b", 2.0), ("a", 1.0), ("c", 3.0)):
+            write_bench(
+                entry(label, [0.1], timestamp=stamp),
+                tmp_path / f"BENCH_{label}.json",
+            )
+        labels = [e["label"] for e in load_history(tmp_path)]
+        assert labels == ["a", "b", "c"]
+
+    def test_prune_keeps_newest(self, tmp_path):
+        for i in range(5):
+            write_bench(
+                entry(f"e{i}", [0.1], timestamp=float(i)),
+                tmp_path / f"BENCH_e{i}.json",
+            )
+        deleted = prune_archive(tmp_path, keep=2)
+        assert len(deleted) == 3
+        remaining = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
+        assert remaining == ["BENCH_e3.json", "BENCH_e4.json"]
+
+    def test_prune_rejects_bad_keep(self, tmp_path):
+        with pytest.raises(ValidationError):
+            prune_archive(tmp_path, keep=0)
+
+
+class TestTrend:
+    def test_trend_table_columns_are_labels(self):
+        history = history_of([0.1, 0.1], [0.2, 0.2])
+        new = entry("fresh", [0.3, 0.3], timestamp=9.0)
+        table = trend_markdown(history, new=new)
+        header = table.splitlines()[0]
+        assert "h0" in header and "h1" in header and "fresh" in header
+        assert "smoke.seconds" in table
+
+    def test_trend_empty_history(self):
+        assert "no trajectory entries" in trend_markdown([])
