@@ -212,6 +212,87 @@ def bench_traversal_micro() -> dict[str, float]:
     }
 
 
+def bench_refine_smoke() -> dict[str, float]:
+    """Batched vs per-pair candidate refinement, bit-identical answers.
+
+    A dense-overlap database (small gene pool, so every source survives
+    the gene-containment check) queried at low ``gamma`` with a generous
+    similarity edge budget: the dense query graph survives refinement
+    nearly everywhere, so both strategies must estimate essentially every
+    query edge of every candidate. That is the regime batching targets --
+    one permutation block per distinct target column via
+    ``pair_block_probabilities`` instead of one block per edge. The
+    edge-probability cache is disabled so both strategies do the same
+    arithmetic each round and the ratio measures batching alone.
+    """
+    from repro.config import InferenceConfig, RefineConfig
+    from repro.core.spec import QuerySpec
+
+    database = generate_database(
+        SyntheticConfig(
+            weights="uni",
+            genes_range=(22, 26),
+            samples_range=(36, 48),
+            gene_pool=28,
+            seed=SEED,
+        ),
+        12,
+    )
+    queries = generate_query_workload(database, n_q=10, count=4, rng=SEED)
+
+    def build(strategy: str) -> IMGRNEngine:
+        engine = IMGRNEngine(
+            database,
+            EngineConfig(
+                seed=SEED,
+                observability=_OBS,
+                inference=InferenceConfig(cache=False),
+                refine=RefineConfig(strategy=strategy),
+            ),
+        )
+        engine.build()
+        return engine
+
+    batched_engine = build("batched")
+    perpair_engine = build("perpair")
+
+    def refine_seconds(engine: IMGRNEngine) -> tuple[float, list]:
+        total = 0.0
+        outputs = []
+        for query in queries:
+            result = engine.execute(
+                QuerySpec(
+                    query, 0.05, 0.0, kind="similarity", edge_budget=10
+                )
+            )
+            total += result.stats.refine_seconds
+            outputs.append(
+                [(a.source_id, a.probability) for a in result.answers]
+            )
+        return total, outputs
+
+    # Interleave the strategies so cache warmth and clock drift land on
+    # both sides evenly.
+    rounds = 3
+    batched_seconds = perpair_seconds = 0.0
+    answers = 0.0
+    for _ in range(rounds):
+        seconds, batched_answers = refine_seconds(batched_engine)
+        batched_seconds += seconds
+        seconds, perpair_answers = refine_seconds(perpair_engine)
+        perpair_seconds += seconds
+        assert batched_answers == perpair_answers, "refine strategies diverged"
+        answers = sum(len(found) for found in batched_answers)
+    return {
+        "perpair_seconds": perpair_seconds,
+        "batched_seconds": batched_seconds,
+        "batched_over_perpair": perpair_seconds / batched_seconds
+        if batched_seconds > 0
+        else 0.0,
+        "answers": float(answers),
+    }
+
+
 def bench_workloads_smoke() -> dict[str, float]:
     """Workload matrix: containment / topk / similarity, engine + daemon.
 
@@ -406,6 +487,7 @@ FLOORS = {
     "daemon_smoke.rps_over_unit": 10.0,
     "workloads_smoke.topk_indexed_over_posthoc": 1.0,
     "workloads_smoke.daemon_kinds_ok": 1.0,
+    "refine_smoke.batched_over_perpair": 1.5,
     "streaming_smoke.streamed_visible": 1.0,
     "streaming_smoke.reloads_ok": 4.0,
 }
@@ -432,6 +514,7 @@ def run(repeats: int = 3, label: str = "CI") -> dict[str, object]:
         ("serve_smoke", bench_serve_smoke),
         ("daemon_smoke", bench_daemon_smoke),
         ("workloads_smoke", bench_workloads_smoke),
+        ("refine_smoke", bench_refine_smoke),
         ("streaming_smoke", bench_streaming_smoke),
         ("traversal_micro", bench_traversal_micro),
     ):

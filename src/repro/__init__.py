@@ -29,6 +29,7 @@ from .config import (
     InferenceConfig,
     ObservabilityConfig,
     ParameterGrid,
+    RefineConfig,
     SyntheticConfig,
 )
 from .adhoc import AdHocMatchEngine, FeatureCollection
@@ -111,6 +112,7 @@ __all__ = [
     "DaemonConfig",
     "ObservabilityConfig",
     "ParameterGrid",
+    "RefineConfig",
     "SyntheticConfig",
     "BatchInferenceEngine",
     "EdgeProbabilityCache",

@@ -25,6 +25,12 @@ from .inference import EdgeProbabilityEstimator, edge_probability, infer_grn
 from .matching import Embedding, find_embeddings, matches
 from .probgraph import ProbabilisticGraph, edge_key
 from .query import IMGRNAnswer, IMGRNEngine, IMGRNResult
+from .refine import (
+    BatchEdgeEvaluator,
+    CandidateRefiner,
+    RefinedAnswer,
+    ScalarEdgeEvaluator,
+)
 from .spec import KINDS, QuerySpec, validate_query_params
 
 __all__ = [
@@ -43,6 +49,10 @@ __all__ = [
     "IMGRNAnswer",
     "IMGRNEngine",
     "IMGRNResult",
+    "BatchEdgeEvaluator",
+    "CandidateRefiner",
+    "RefinedAnswer",
+    "ScalarEdgeEvaluator",
     "KINDS",
     "QuerySpec",
     "validate_query_params",

@@ -30,7 +30,7 @@ from ..obs import MetricsRegistry, Observability
 from ..obs import names as _names
 from .batch_inference import BatchInferenceEngine, standardize_columns
 from .inference import EdgeProbabilityEstimator
-from .matching import Embedding, best_embedding
+from .matching import best_embedding
 from .probgraph import ProbabilisticGraph, edge_key
 from .pruning import (
     edge_inference_prunable,
@@ -44,6 +44,7 @@ from .query import (
     _check_thresholds,
     _resolve_query_thresholds,
 )
+from .refine import BatchEdgeEvaluator, CandidateRefiner
 from .spec import QuerySpec
 from .standardize import standardize_matrix
 
@@ -573,46 +574,32 @@ class LinearScanEngine:
                 engine="linear_scan",
             ).inc(len(candidates))
 
-            answers: list[IMGRNAnswer] = []
+            refiner = CandidateRefiner(
+                query_graph,
+                gamma,
+                BatchEdgeEvaluator(self._inference, self.database.get),
+                engine="linear_scan",
+                config=self.config.refine,
+                metrics=metrics,
+                tracer=tracer,
+            )
             with tracer.span(
-                "query.refine", candidates=len(candidates)
+                "query.refine",
+                candidates=len(candidates),
+                strategy=self.config.refine.strategy,
             ) as refine_span:
                 refine_start = time.perf_counter()
-                for source in candidates:
-                    matrix = self.database.get(source)
-                    probability = 1.0
-                    matched = True
-                    missing = 0
-                    for u, v in query_edges:
-                        p = self._inference.pair_probability(
-                            matrix.column(u), matrix.column(v)
-                        )
-                        if p <= gamma:
-                            missing += 1
-                            if missing > budget:
-                                matched = False
-                                break
-                            continue  # absorbed by the budget
-                        probability *= p
-                        if kind == "topk":
-                            if probability == 0.0:
-                                matched = False
-                                break
-                        elif probability <= spec.alpha:
-                            matched = False
-                            break
-                    if matched:
-                        mapping = tuple(
-                            (g, g) for g in sorted(query_graph.gene_ids)
-                        )
-                        answers.append(
-                            IMGRNAnswer(
-                                source, Embedding(mapping, probability), probability
-                            )
-                        )
                 if kind == "topk":
-                    answers.sort(key=lambda a: (-a.probability, a.source_id))
-                    del answers[spec.k :]
+                    refined = refiner.refine_topk_posthoc(candidates, spec.k)
+                else:
+                    # Containment is similarity at budget 0.
+                    refined = refiner.refine_similarity(
+                        candidates, spec.alpha, budget
+                    )
+                answers = [
+                    IMGRNAnswer(r.source_id, r.embedding, r.probability)
+                    for r in refined
+                ]
                 _stage_timer(
                     metrics, "linear_scan", _names.STAGE_REFINE
                 ).observe(time.perf_counter() - refine_start)

@@ -90,20 +90,7 @@ def find_embeddings(
     list[Embedding]
         Sorted by descending probability, then mapping for determinism.
     """
-    if not 0.0 <= alpha < 1.0:
-        raise ValidationError(f"alpha must be in [0,1), got {alpha}")
-    if label_mode not in ("exact", "ignore"):
-        raise ValidationError(
-            f"label_mode must be 'exact' or 'ignore', got {label_mode!r}"
-        )
-    if edge_budget < 0:
-        raise ValidationError(f"edge_budget must be >= 0, got {edge_budget}")
-    if edge_budget and label_mode != "exact":
-        raise ValidationError(
-            "edge_budget requires label_mode='exact' (unique labels pin "
-            "which query edges are missing; structural mode has no such "
-            "notion)"
-        )
+    _validate_search(alpha, label_mode, edge_budget)
     if query.num_vertices == 0:
         return []
     if query.num_vertices > data.num_vertices:
@@ -143,18 +130,40 @@ def matches(
     label_mode: str = "exact",
     edge_budget: int = 0,
 ) -> bool:
-    """True iff some subgraph of ``data`` matches ``query`` above ``alpha``."""
+    """True iff some subgraph of ``data`` matches ``query`` above ``alpha``.
+
+    Validates and guards exactly like :func:`find_embeddings`, so
+    ``matches(...) == bool(find_embeddings(...))`` on every input.
+    (Historically the exact-label path skipped validation entirely and
+    answered ``True`` for an empty query where ``find_embeddings``
+    returns ``[]``.)
+    """
+    _validate_search(alpha, label_mode, edge_budget)
+    if query.num_vertices == 0 or query.num_vertices > data.num_vertices:
+        return False
     if label_mode == "exact":
         return bool(
             _exact_label_embeddings(query, data, alpha, edge_budget=edge_budget)
         )
-    if edge_budget:
+    return bool(_backtracking_embeddings(query, data, alpha, max_embeddings=1))
+
+
+def _validate_search(alpha: float, label_mode: str, edge_budget: int) -> None:
+    """Shared domain validation of the public matcher entry points."""
+    if not 0.0 <= alpha < 1.0:
+        raise ValidationError(f"alpha must be in [0,1), got {alpha}")
+    if label_mode not in ("exact", "ignore"):
+        raise ValidationError(
+            f"label_mode must be 'exact' or 'ignore', got {label_mode!r}"
+        )
+    if edge_budget < 0:
+        raise ValidationError(f"edge_budget must be >= 0, got {edge_budget}")
+    if edge_budget and label_mode != "exact":
         raise ValidationError(
             "edge_budget requires label_mode='exact' (unique labels pin "
             "which query edges are missing; structural mode has no such "
             "notion)"
         )
-    return bool(_backtracking_embeddings(query, data, alpha, max_embeddings=1))
 
 
 # ----------------------------------------------------------------------
@@ -192,7 +201,8 @@ def _exact_label_embeddings(
 
 
 # ----------------------------------------------------------------------
-# Structural mode: VF2-style backtracking with probability pruning.
+# Structural mode: VF2-style backtracking with probability pruning over
+# auxiliary candidate sets (GraphMini-style).
 # ----------------------------------------------------------------------
 def _backtracking_embeddings(
     query: ProbabilisticGraph,
@@ -201,7 +211,7 @@ def _backtracking_embeddings(
     max_embeddings: int | None,
 ) -> list[Embedding]:
     order = _search_order(query)
-    degrees = {g: data.degree(g) for g in data.gene_ids}
+    auxiliary = _AuxiliaryCandidates(query, data)
     results: list[Embedding] = []
     mapping: dict[int, int] = {}
     used: set[int] = set()
@@ -213,12 +223,10 @@ def _backtracking_embeddings(
             results.append(Embedding(pairs, probability))
             return max_embeddings is not None and len(results) >= max_embeddings
         q_vertex = order[depth]
-        q_degree = query.degree(q_vertex)
         mapped_neighbors = [
             (n, mapping[n]) for n in query.neighbors(q_vertex) if n in mapping
         ]
-        candidates = _candidates(data, degrees, used, q_degree, mapped_neighbors)
-        for d_vertex in candidates:
+        for d_vertex in auxiliary.candidates(q_vertex, used):
             new_probability = probability
             feasible = True
             for _qn, dn in mapped_neighbors:
@@ -230,7 +238,9 @@ def _backtracking_embeddings(
                 continue
             mapping[q_vertex] = d_vertex
             used.add(d_vertex)
+            undo = auxiliary.assign(q_vertex, d_vertex, mapping)
             done = extend(depth + 1, new_probability)
+            auxiliary.restore(undo)
             used.discard(d_vertex)
             del mapping[q_vertex]
             if done:
@@ -241,47 +251,92 @@ def _backtracking_embeddings(
     return results
 
 
+class _AuxiliaryCandidates:
+    """GraphMini-style memoized per-query-vertex candidate sets.
+
+    One candidate set per query vertex, computed once up front from the
+    degree and neighbor-degree-signature filters, then *shrunk in place*
+    as the partial match grows: assigning ``q -> d`` intersects every
+    still-unmatched query neighbor's set with ``d``'s adjacency (undone
+    on backtrack), which replaces re-intersecting ``data.neighbors()``
+    from scratch at every ``extend`` call. Both filters are sound for
+    subgraph monomorphism -- the signature filter is the Hall condition
+    on descending neighbor-degree lists: each of ``q``'s neighbors needs
+    a *distinct* image among ``d``'s neighbors of at least its degree --
+    so the search visits exactly the same embeddings in the same order;
+    only dead branches disappear.
+    """
+
+    def __init__(self, query: ProbabilisticGraph, data: ProbabilisticGraph):
+        self._query = query
+        self._adjacency = {g: data.neighbors(g) for g in data.gene_ids}
+        degrees = {g: len(self._adjacency[g]) for g in data.gene_ids}
+        signatures = {
+            g: sorted((degrees[n] for n in self._adjacency[g]), reverse=True)
+            for g in data.gene_ids
+        }
+        self._sets: dict[int, set[int]] = {}
+        for q_vertex in query.gene_ids:
+            q_degree = query.degree(q_vertex)
+            q_signature = sorted(
+                (query.degree(n) for n in query.neighbors(q_vertex)),
+                reverse=True,
+            )
+            self._sets[q_vertex] = {
+                d
+                for d in data.gene_ids
+                if degrees[d] >= q_degree
+                and _signature_dominates(signatures[d], q_signature)
+            }
+
+    def candidates(self, q_vertex: int, used: set[int]) -> list[int]:
+        """Sorted feasible images of ``q_vertex`` under the partial map."""
+        return sorted(self._sets[q_vertex] - used)
+
+    def assign(
+        self, q_vertex: int, d_vertex: int, mapping: dict[int, int]
+    ) -> list[tuple[int, set[int]]]:
+        """Shrink unmatched neighbors' sets; returns the undo log."""
+        undo: list[tuple[int, set[int]]] = []
+        adjacency = self._adjacency[d_vertex]
+        for q_neighbor in self._query.neighbors(q_vertex):
+            if q_neighbor in mapping:
+                continue
+            current = self._sets[q_neighbor]
+            shrunk = current & adjacency
+            if len(shrunk) != len(current):
+                undo.append((q_neighbor, current))
+                self._sets[q_neighbor] = shrunk
+        return undo
+
+    def restore(self, undo: list[tuple[int, set[int]]]) -> None:
+        """Backtrack: reinstate the sets ``assign`` shrank."""
+        for q_neighbor, previous in undo:
+            self._sets[q_neighbor] = previous
+
+
+def _signature_dominates(
+    data_signature: list[int], query_signature: list[int]
+) -> bool:
+    """Hall-condition check on descending neighbor-degree lists."""
+    if len(data_signature) < len(query_signature):
+        return False
+    return all(d >= q for d, q in zip(data_signature, query_signature))
+
+
 def _search_order(query: ProbabilisticGraph) -> list[int]:
     """Connectivity-first vertex ordering: start at the highest-degree
     vertex and always extend into the mapped frontier when possible."""
     remaining = set(query.gene_ids)
     order: list[int] = []
+    placed: set[int] = set()  # O(1) membership for the frontier scan
     while remaining:
         frontier = [
-            g for g in remaining if any(n in order for n in query.neighbors(g))
+            g for g in remaining if any(n in placed for n in query.neighbors(g))
         ]
         pool = frontier or sorted(remaining)
         nxt = max(pool, key=lambda g: (query.degree(g), -g))
         order.append(nxt)
+        placed.add(nxt)
         remaining.discard(nxt)
     return order
-
-
-def _candidates(
-    data: ProbabilisticGraph,
-    degrees: dict[int, int],
-    used: set[int],
-    q_degree: int,
-    mapped_neighbors: list[tuple[int, int]],
-) -> list[int]:
-    """Data vertices consistent with the partial mapping.
-
-    When at least one query neighbor is already mapped, candidates are the
-    intersection of the mapped images' adjacency lists (much smaller than
-    the whole vertex set); otherwise all unused vertices qualify, filtered
-    by the degree lower bound.
-    """
-    if mapped_neighbors:
-        candidate_set: set[int] | None = None
-        for _qn, dn in mapped_neighbors:
-            neighbors = data.neighbors(dn)
-            candidate_set = (
-                set(neighbors) if candidate_set is None else candidate_set & neighbors
-            )
-            if not candidate_set:
-                return []
-        assert candidate_set is not None
-        pool = candidate_set - used
-    else:
-        pool = set(degrees) - used
-    return sorted(g for g in pool if degrees[g] >= q_degree)

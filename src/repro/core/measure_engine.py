@@ -30,7 +30,6 @@ from ..eval.counters import QueryStats, Stopwatch
 from ..obs import MetricsRegistry, Observability
 from ..obs import names as _names
 from .batch_inference import EdgeProbabilityCache
-from .matching import Embedding
 from .measures import MEASURES, ScoreFunction, randomized_measure_probability
 from .probgraph import ProbabilisticGraph
 from .query import (
@@ -40,6 +39,7 @@ from .query import (
     _resolve_query_thresholds,
 )
 from .randomization import content_seed
+from .refine import CandidateRefiner, ScalarEdgeEvaluator
 from .spec import QuerySpec
 
 __all__ = ["MeasureScanEngine"]
@@ -225,11 +225,9 @@ class MeasureScanEngine:
                 stage_timer(_names.STAGE_INFERENCE).observe(
                     time.perf_counter() - infer_started
                 )
-            query_edges = [key for key, _p in query_graph.edges()]
-            answers: list[IMGRNAnswer] = []
             refine = Stopwatch()
             io_pages = 0
-            candidates = 0
+            candidate_ids: list[int] = []
             with tracer.span("query.scan"):
                 for matrix in self.database:
                     io_pages += max(
@@ -245,43 +243,37 @@ class MeasureScanEngine:
                         gene not in matrix for gene in query_graph.gene_ids
                     ):
                         continue
-                    candidates += 1
-                    probability = 1.0
-                    matched = True
-                    missing = 0
-                    with refine:
-                        for u, v in query_edges:
-                            p = self._pair_probability(
-                                matrix.column(u), matrix.column(v)
-                            )
-                            if p <= gamma:
-                                missing += 1
-                                if missing > budget:
-                                    matched = False
-                                    break
-                                continue  # absorbed by the budget
-                            probability *= p
-                            if kind == "topk":
-                                if probability == 0.0:
-                                    matched = False
-                                    break
-                            elif probability <= spec.alpha:
-                                matched = False
-                                break
-                    if matched:
-                        mapping = tuple(
-                            (g, g) for g in sorted(query_graph.gene_ids)
+                    candidate_ids.append(matrix.source_id)
+            candidates = len(candidate_ids)
+            refiner = CandidateRefiner(
+                query_graph,
+                gamma,
+                ScalarEdgeEvaluator(self._pair_probability, self.database.get),
+                engine=_ENGINE,
+                config=self.config.refine,
+                metrics=metrics,
+                tracer=tracer,
+            )
+            with tracer.span(
+                "query.refine",
+                candidates=candidates,
+                strategy=self.config.refine.strategy,
+            ) as refine_span:
+                with refine:
+                    if kind == "topk":
+                        refined = refiner.refine_topk_posthoc(
+                            candidate_ids, spec.k
                         )
-                        answers.append(
-                            IMGRNAnswer(
-                                matrix.source_id,
-                                Embedding(mapping, probability),
-                                probability,
-                            )
+                    else:
+                        # Containment is similarity at budget 0.
+                        refined = refiner.refine_similarity(
+                            candidate_ids, spec.alpha, budget
                         )
-            if kind == "topk":
-                answers.sort(key=lambda a: (-a.probability, a.source_id))
-                del answers[spec.k :]
+                answers = [
+                    IMGRNAnswer(r.source_id, r.embedding, r.probability)
+                    for r in refined
+                ]
+                refine_span.set(answers=len(answers))
             stage_timer(_names.STAGE_REFINE).observe(refine.elapsed)
             stage_timer(_names.STAGE_RETRIEVE).observe(
                 time.perf_counter() - started - refine.elapsed

@@ -31,6 +31,7 @@ from ..config import (
     EngineConfig,
     InferenceConfig,
     ObservabilityConfig,
+    RefineConfig,
 )
 from ..data.database import GeneFeatureDatabase
 from ..data.matrix import GeneFeatureMatrix
@@ -56,6 +57,7 @@ _SHARDED_FORMAT_VERSION = 1
 #: Nested config dataclasses reconstructed by name from archive dicts.
 _NESTED_CONFIG_FIELDS = {
     "inference": InferenceConfig,
+    "refine": RefineConfig,
     "build": BuildConfig,
     "observability": ObservabilityConfig,
 }

@@ -61,12 +61,19 @@ from .pruning import (
     relaxed_graph_existence_upper_bound,
 )
 from .randomization import expected_randomized_distance_jensen
+from .refine import BatchEdgeEvaluator, CandidateRefiner
 from .spec import QuerySpec
 from .standardize import standardize_matrix
 
 __all__ = ["IMGRNAnswer", "IMGRNResult", "IMGRNEngine"]
 
 _ENGINE = "imgrn"
+
+#: Gene-column capacity of one source in the packed R*-tree payload key:
+#: ``(source, column)`` pairs pack as ``source * LIMIT + column``, so any
+#: column index at or past the limit (or a negative source) would alias
+#: another entry's payload.
+_PAYLOAD_GENE_LIMIT = 1_000_000
 
 
 def _resolve_query_thresholds(
@@ -424,8 +431,18 @@ class IMGRNEngine:
 
     @staticmethod
     def _payload_key(source_id: int, gene_index: int) -> int:
-        """Pack (source, column) into one integer payload."""
-        return source_id * 1_000_000 + gene_index
+        """Pack (source, column) into one collision-free integer payload."""
+        if source_id < 0:
+            raise ValidationError(
+                f"source_id must be >= 0 to pack a payload key, got {source_id}"
+            )
+        if not 0 <= gene_index < _PAYLOAD_GENE_LIMIT:
+            raise ValidationError(
+                f"matrices are limited to {_PAYLOAD_GENE_LIMIT} genes per "
+                "source (larger column indices would collide with the next "
+                f"source's payload keys), got gene index {gene_index}"
+            )
+        return source_id * _PAYLOAD_GENE_LIMIT + gene_index
 
     # ------------------------------------------------------------------
     # Query-graph inference (Fig. 4, line 1)
@@ -589,6 +606,7 @@ class IMGRNEngine:
         local = MetricsRegistry()  # this query's private delta registry
         pages = self.pages.counter()  # this query's private I/O tally
         tracer = self.obs.tracer
+        seed_bounds: dict[tuple[int, tuple[int, int]], float] = {}
         started = time.perf_counter()
         with tracer.span(
             "query", engine=_ENGINE, kind=kind, gamma=gamma, alpha=spec.alpha
@@ -623,6 +641,13 @@ class IMGRNEngine:
                     candidate_pairs = self._traverse(
                         anchor, neighbor_genes, gamma, pages=pages, metrics=local
                     )  # {(source_id, neighbor_gene): edge upper bound}
+                # Candidate reuse: the traversal's leaf-level anchor-edge
+                # bounds seed the refiner's bound table, so its prescreen
+                # never recomputes what the index walk already paid for.
+                seed_bounds = {
+                    (source, edge_key(anchor, gene)): bound
+                    for (source, gene), bound in candidate_pairs.items()
+                }
                 with tracer.span("query.filter", pairs=len(candidate_pairs)):
                     survivors = self._graph_existence_filter(
                         candidate_pairs,
@@ -663,29 +688,38 @@ class IMGRNEngine:
                 help="candidates surviving all pruning",
                 engine=_ENGINE,
             ).inc(candidates)
+            refiner = CandidateRefiner(
+                query_graph,
+                gamma,
+                BatchEdgeEvaluator(self._inference, self.database.get),
+                engine=_ENGINE,
+                config=self.config.refine,
+                metrics=local,
+                tracer=tracer,
+                seed_bounds=seed_bounds,
+            )
             with tracer.span(
-                "query.refine", candidates=len(survivors)
+                "query.refine",
+                candidates=len(survivors),
+                strategy=self.config.refine.strategy,
             ) as refine_span:
                 refine_started = time.perf_counter()
                 if kind == "topk":
-                    answers = self._refine_topk(
-                        query_graph, survivors, gamma, spec.k, metrics=local
-                    )
+                    refined = refiner.refine_topk(survivors, spec.k)
                 elif kind == "similarity":
-                    answers = self._refine_similarity(
-                        query_graph,
+                    refined = refiner.refine_similarity(
                         [source for source, _ub in survivors],
-                        gamma,
                         spec.alpha,
                         budget,
                     )
                 else:
-                    answers = self._refine(
-                        query_graph,
-                        [source for source, _ub in survivors],
-                        gamma,
-                        spec.alpha,
+                    refined = refiner.refine_containment(
+                        [source for source, _ub in survivors], spec.alpha
                     )
+                answers = [
+                    IMGRNAnswer(r.source_id, r.embedding, r.probability)
+                    for r in refined
+                ]
                 self._stage_timer(_names.STAGE_REFINE, local).observe(
                     time.perf_counter() - refine_started
                 )
@@ -1285,155 +1319,3 @@ class IMGRNEngine:
             if not sources:
                 return []
         return sorted(sources or ())
-
-    def _refine(
-        self,
-        query_graph: ProbabilisticGraph,
-        candidate_sources: list[int],
-        gamma: float,
-        alpha: float,
-    ) -> list[IMGRNAnswer]:
-        """Exact verification of Definition 4 on the surviving matrices."""
-        answers: list[IMGRNAnswer] = []
-        query_edges = [key for key, _p in query_graph.edges()]
-        for source in candidate_sources:
-            matrix = self.database.get(source)
-            if any(gene not in matrix for gene in query_graph.gene_ids):
-                continue
-            probability = 1.0
-            matched = True
-            for u, v in query_edges:
-                p = self._inference.pair_probability(
-                    matrix.column(u), matrix.column(v)
-                )
-                if p <= gamma:  # the edge does not exist in G_i
-                    matched = False
-                    break
-                probability *= p
-                if probability <= alpha:
-                    matched = False
-                    break
-            if not matched:
-                continue
-            mapping = tuple((g, g) for g in sorted(query_graph.gene_ids))
-            answers.append(
-                IMGRNAnswer(source, Embedding(mapping, probability), probability)
-            )
-        return answers
-
-    def _refine_similarity(
-        self,
-        query_graph: ProbabilisticGraph,
-        candidate_sources: list[int],
-        gamma: float,
-        alpha: float,
-        edge_budget: int,
-    ) -> list[IMGRNAnswer]:
-        """Budget-aware exact verification for similarity search.
-
-        A source answers iff it holds every query gene, at most
-        ``edge_budget`` query edges are missing from its inferred GRN
-        (existence probability ``p <= gamma``), and the product of the
-        *matched* edges' probabilities exceeds ``alpha``. With
-        ``edge_budget=0`` this is exactly :meth:`_refine` (containment):
-        the first missing edge already overdraws the budget.
-        """
-        answers: list[IMGRNAnswer] = []
-        query_edges = [key for key, _p in query_graph.edges()]
-        for source in candidate_sources:
-            matrix = self.database.get(source)
-            if any(gene not in matrix for gene in query_graph.gene_ids):
-                continue
-            probability = 1.0
-            missing = 0
-            matched = True
-            for u, v in query_edges:
-                p = self._inference.pair_probability(
-                    matrix.column(u), matrix.column(v)
-                )
-                if p <= gamma:  # the edge does not exist in G_i
-                    missing += 1
-                    if missing > edge_budget:
-                        matched = False
-                        break
-                    continue  # absorbed by the budget; product unchanged
-                probability *= p
-                if probability <= alpha:
-                    matched = False  # the matched product can only shrink
-                    break
-            if not matched:
-                continue
-            mapping = tuple((g, g) for g in sorted(query_graph.gene_ids))
-            answers.append(
-                IMGRNAnswer(source, Embedding(mapping, probability), probability)
-            )
-        return answers
-
-    def _refine_topk(
-        self,
-        query_graph: ProbabilisticGraph,
-        survivors: list[tuple[int, float]],
-        gamma: float,
-        k: int,
-        *,
-        metrics,
-    ) -> list[IMGRNAnswer]:
-        """Index-aware top-k refinement with a running k-th-best bound.
-
-        Visits candidates in descending Lemma-5 upper-bound order (ties
-        by source ID) while a min-heap tracks the ``k`` highest exact
-        probabilities computed so far. Once ``k`` answers exist, a
-        candidate whose upper bound is *strictly* below the running
-        k-th-best probability cannot reach the top-k (its true
-        probability is at most the bound, and ``k`` answers strictly
-        exceed it), so it is skipped without touching the raw data --
-        counted under pruning stage ``topk_kth_bound``. Inside a
-        refinement, the running product is itself an upper bound on the
-        final probability, so it early-exits under the same strict
-        comparison. Strictness preserves the ``(-probability,
-        source_id)`` tie order: the returned answers are bit-identical
-        to the first ``k`` of the post-hoc ``alpha=0`` sort.
-        """
-        pruned_kth = metrics.counter(
-            _names.QUERY_PRUNED,
-            help="pairs discarded by pruning",
-            engine=_ENGINE,
-            stage="topk_kth_bound",
-        )
-        query_edges = [key for key, _p in query_graph.edges()]
-        best: list[float] = []  # min-heap of the k highest probabilities
-        answers: list[IMGRNAnswer] = []
-        for source, upper in sorted(survivors, key=lambda su: (-su[1], su[0])):
-            bounded = len(best) >= k
-            kth_best = best[0] if bounded else 0.0
-            if bounded and upper < kth_best:
-                pruned_kth.inc()
-                continue
-            matrix = self.database.get(source)
-            if any(gene not in matrix for gene in query_graph.gene_ids):
-                continue
-            probability = 1.0
-            matched = True
-            for u, v in query_edges:
-                p = self._inference.pair_probability(
-                    matrix.column(u), matrix.column(v)
-                )
-                if p <= gamma:  # the edge does not exist in G_i
-                    matched = False
-                    break
-                probability *= p
-                if probability == 0.0 or (bounded and probability < kth_best):
-                    matched = False
-                    break
-            if not matched:
-                continue
-            mapping = tuple((g, g) for g in sorted(query_graph.gene_ids))
-            answers.append(
-                IMGRNAnswer(source, Embedding(mapping, probability), probability)
-            )
-            heapq.heappush(best, probability)
-            if len(best) > k:
-                heapq.heappop(best)
-        answers.sort(key=lambda a: (-a.probability, a.source_id))
-        del answers[k:]
-        return answers

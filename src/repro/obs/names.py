@@ -13,6 +13,11 @@ carries a ``kind`` label naming the workload
 fired -- including ``missing_edge`` (more certainly-missing edges than
 the kind's edge budget allows) and ``topk_kth_bound`` (top-k: upper
 bound strictly below the running k-th best probability). The
+``refine.*`` series belong to the unified refinement layer
+(:class:`repro.core.refine.CandidateRefiner`) and carry ``engine`` and
+``strategy`` labels; they are strategy-dependent diagnostics (batch
+counts, memo hits, bound discards), unlike the ``query.*`` counters
+which are bit-identical across refine strategies. The
 ``serve.*`` series belong to :class:`repro.serve.QueryServer` and the
 network daemon (:mod:`repro.serve.daemon`) and carry the wrapped
 engine's label; ``serve.queries`` adds a ``status`` label (``ok`` /
@@ -37,6 +42,12 @@ __all__ = [
     "INFERENCE_PAIRS",
     "INFERENCE_CACHE_HITS",
     "INFERENCE_CACHE_MISSES",
+    "REFINE_SOURCES",
+    "REFINE_EDGES",
+    "REFINE_MEMO_HITS",
+    "REFINE_PRESCREENED",
+    "REFINE_BATCHES",
+    "REFINE_SOURCE_SPAN",
     "SERVE_QUERIES",
     "SERVE_RETRIES",
     "SERVE_CACHE_HITS",
@@ -66,6 +77,22 @@ QUERY_ANSWERS = "query.answers"
 QUERY_PRUNED = "query.pruned_pairs"
 #: Edge probabilities actually estimated (cache misses + uncached).
 INFERENCE_PAIRS = "inference.pairs"
+#: Candidates whose edges the refinement layer verified (labels: engine,
+#: strategy). Excludes candidates dropped by the gene-containment check.
+REFINE_SOURCES = "refine.sources"
+#: (source, query-edge) probabilities estimated during refinement
+#: (labels: engine, strategy). Memoized edges are not re-counted.
+REFINE_EDGES = "refine.edges_evaluated"
+#: Refinement memo-table hits: a kind's decision loop reused a
+#: probability another pass already estimated (labels: engine, strategy).
+REFINE_MEMO_HITS = "refine.memo_hits"
+#: Candidates discarded by per-edge upper bounds alone -- prescreen or
+#: mid-chunk re-check -- before exhausting their Monte-Carlo estimations
+#: (labels: engine, strategy).
+REFINE_PRESCREENED = "refine.prescreened"
+#: Batched estimator calls issued by the refinement layer (labels:
+#: engine, strategy).
+REFINE_BATCHES = "refine.batches"
 #: Edge-probability cache hits / misses of the batched engine.
 INFERENCE_CACHE_HITS = "inference.cache_hits"
 INFERENCE_CACHE_MISSES = "inference.cache_misses"
@@ -110,6 +137,10 @@ SERVE_BATCH_SECONDS = "serve.batch_seconds"
 #: Per-request wall-clock of the network daemon, accept-to-response
 #: (label: status). p50/p95/p99 are estimated from its buckets.
 SERVE_REQUEST_SECONDS = "serve.request_seconds"
+
+# -- span names ---------------------------------------------------------
+#: Per-candidate refinement span (attributes: source, edges evaluated).
+REFINE_SOURCE_SPAN = "refine.source"
 
 # -- stage label values of STAGE_SECONDS -------------------------------
 #: Query-graph inference (a sub-measure of the retrieve stage).

@@ -157,3 +157,203 @@ class TestValidation:
 
     def test_empty_query(self, data_graph):
         assert find_embeddings(ProbabilisticGraph([]), data_graph) == []
+
+
+class TestMatchesParity:
+    """Regression: ``matches`` historically skipped validation in exact
+    mode (and answered True for an empty query); it must now agree with
+    ``bool(find_embeddings(...))`` on every input, errors included."""
+
+    def test_bad_alpha_rejected_in_exact_mode(self, data_graph):
+        query = path_graph([0, 1])
+        with pytest.raises(ValidationError):
+            matches(query, data_graph, alpha=1.0)
+        with pytest.raises(ValidationError):
+            matches(query, data_graph, alpha=-0.1)
+
+    def test_bad_label_mode_rejected(self, data_graph):
+        query = path_graph([0, 1])
+        with pytest.raises(ValidationError):
+            matches(query, data_graph, label_mode="fuzzy")
+
+    def test_negative_edge_budget_rejected(self, data_graph):
+        query = path_graph([0, 1])
+        with pytest.raises(ValidationError):
+            matches(query, data_graph, edge_budget=-1)
+
+    def test_budget_with_structural_mode_rejected(self, data_graph):
+        query = path_graph([0, 1])
+        with pytest.raises(ValidationError):
+            matches(query, data_graph, label_mode="ignore", edge_budget=1)
+
+    def test_empty_query_does_not_match(self, data_graph):
+        assert not matches(ProbabilisticGraph([]), data_graph)
+
+    def test_oversized_query_does_not_match(self):
+        data = path_graph([0, 1])
+        assert not matches(path_graph([0, 1, 2]), data)
+
+    def test_parity_with_find_embeddings(self):
+        import random
+
+        random.seed(7)
+        for trial in range(6):
+            g = nx.gnp_random_graph(6, 0.4, seed=trial)
+            data = ProbabilisticGraph.from_networkx(g, default_p=0.8)
+            for size in (0, 2, 4, 7):
+                query = path_graph(list(range(size)), p=0.8)
+                for alpha in (0.0, 0.3):
+                    for mode in ("exact", "ignore"):
+                        assert matches(
+                            query, data, alpha=alpha, label_mode=mode
+                        ) == bool(
+                            find_embeddings(
+                                query, data, alpha=alpha, label_mode=mode
+                            )
+                        ), f"trial={trial} size={size} a={alpha} m={mode}"
+
+
+# ----------------------------------------------------------------------
+# References for the optimized internals: the pre-optimization matcher
+# and ordering, inlined verbatim so behavioral identity is pinned.
+# ----------------------------------------------------------------------
+def _legacy_search_order(query):
+    """The quadratic frontier scan (``n in order`` over a list)."""
+    remaining = set(query.gene_ids)
+    order = []
+    while remaining:
+        frontier = [
+            g for g in remaining if any(n in order for n in query.neighbors(g))
+        ]
+        pool = frontier or sorted(remaining)
+        nxt = max(pool, key=lambda g: (query.degree(g), -g))
+        order.append(nxt)
+        remaining.discard(nxt)
+    return order
+
+
+def _legacy_candidates(data, degrees, used, q_degree, mapped_neighbors):
+    if mapped_neighbors:
+        candidate_set = None
+        for _qn, dn in mapped_neighbors:
+            neighbors = data.neighbors(dn)
+            candidate_set = (
+                set(neighbors)
+                if candidate_set is None
+                else candidate_set & neighbors
+            )
+            if not candidate_set:
+                return []
+        pool = candidate_set - used
+    else:
+        pool = set(degrees) - used
+    return sorted(g for g in pool if degrees[g] >= q_degree)
+
+
+def _legacy_backtracking(query, data, alpha, max_embeddings):
+    """The pre-auxiliary matcher: re-intersects adjacency at every node."""
+    from repro.core.matching import Embedding
+
+    order = _legacy_search_order(query)
+    degrees = {g: data.degree(g) for g in data.gene_ids}
+    results = []
+    mapping = {}
+    used = set()
+
+    def extend(depth, probability):
+        if depth == len(order):
+            results.append(Embedding(tuple(sorted(mapping.items())), probability))
+            return max_embeddings is not None and len(results) >= max_embeddings
+        q_vertex = order[depth]
+        mapped_neighbors = [
+            (n, mapping[n]) for n in query.neighbors(q_vertex) if n in mapping
+        ]
+        for d_vertex in _legacy_candidates(
+            data, degrees, used, query.degree(q_vertex), mapped_neighbors
+        ):
+            new_probability = probability
+            feasible = True
+            for _qn, dn in mapped_neighbors:
+                new_probability *= data.edge_probability(d_vertex, dn)
+                if new_probability <= alpha:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            mapping[q_vertex] = d_vertex
+            used.add(d_vertex)
+            done = extend(depth + 1, new_probability)
+            used.discard(d_vertex)
+            del mapping[q_vertex]
+            if done:
+                return True
+        return False
+
+    extend(0, 1.0)
+    return results
+
+
+def _random_cases(seed, trials):
+    import random
+
+    rng = random.Random(seed)
+    for trial in range(trials):
+        g = nx.gnp_random_graph(8, 0.45, seed=seed * 100 + trial)
+        # Varied edge probabilities so alpha pruning actually fires.
+        data = ProbabilisticGraph(
+            g.nodes,
+            {(u, v): round(rng.uniform(0.2, 0.95), 3) for u, v in g.edges},
+        )
+        sub_nodes = rng.sample(list(g.nodes), 4)
+        sub = g.subgraph(sub_nodes)
+        if sub.number_of_edges() == 0:
+            continue
+        query = ProbabilisticGraph(
+            [n + 100 for n in sub_nodes],
+            {(u + 100, v + 100): 0.5 for u, v in sub.edges},
+        )
+        yield trial, query, data
+
+
+class TestSearchOrderUnchanged:
+    """Regression: the set-backed frontier scan keeps the exact ordering
+    of the quadratic list scan it replaced."""
+
+    def test_identical_on_random_graphs(self):
+        from repro.core.matching import _search_order
+
+        for trial, query, data in _random_cases(seed=13, trials=10):
+            assert _search_order(query) == _legacy_search_order(query), trial
+            assert _search_order(data) == _legacy_search_order(data), trial
+
+    def test_identical_on_disconnected_graph(self):
+        from repro.core.matching import _search_order
+
+        graph = ProbabilisticGraph(
+            range(7), {(0, 1): 0.9, (1, 2): 0.9, (4, 5): 0.9}
+        )
+        assert _search_order(graph) == _legacy_search_order(graph)
+
+
+class TestAuxiliaryCandidatesUnchanged:
+    """The auxiliary candidate sets only drop dead branches: the search
+    visits the same embeddings in the same order as the legacy matcher,
+    including under ``max_embeddings`` truncation."""
+
+    @pytest.mark.parametrize("alpha", [0.0, 0.3])
+    def test_same_embedding_sequence(self, alpha):
+        from repro.core.matching import _backtracking_embeddings
+
+        for trial, query, data in _random_cases(seed=21, trials=10):
+            got = _backtracking_embeddings(query, data, alpha, None)
+            expected = _legacy_backtracking(query, data, alpha, None)
+            assert got == expected, f"trial {trial}"
+
+    @pytest.mark.parametrize("cap", [1, 2, 3])
+    def test_same_sequence_under_cap(self, cap):
+        from repro.core.matching import _backtracking_embeddings
+
+        for trial, query, data in _random_cases(seed=34, trials=8):
+            got = _backtracking_embeddings(query, data, 0.0, cap)
+            expected = _legacy_backtracking(query, data, 0.0, cap)
+            assert got == expected, f"trial {trial}"

@@ -1,0 +1,251 @@
+"""Refinement-layer conformance: the batched `CandidateRefiner` is
+bit-identical to the per-pair reference strategy and to brute-force
+`find_embeddings` over materialized GRNs, across all three workload
+kinds, `edge_budget in {0, 1, 2}` and all four engines -- answers,
+probabilities and `query.*` pruning counters alike."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BaselineEngine,
+    EngineConfig,
+    IMGRNEngine,
+    LinearScanEngine,
+    MeasureScanEngine,
+    ObservabilityConfig,
+    QuerySpec,
+    RefineConfig,
+)
+from repro.core.matching import find_embeddings
+from repro.core.probgraph import ProbabilisticGraph, edge_key
+from repro.core.query import _PAYLOAD_GENE_LIMIT
+from repro.errors import ValidationError
+
+GAMMA, ALPHA = 0.5, 0.3
+
+#: Private registries keep these tests independent of suite ordering.
+BASE_CONFIG = EngineConfig(
+    mc_samples=64,
+    seed=11,
+    observability=ObservabilityConfig(shared_registry=False),
+)
+
+ENGINE_NAMES = ["imgrn", "baseline", "linear_scan", "measure_scan"]
+
+#: (kind, edge_budget) coverage: every kind, budgets 0..2 for similarity.
+WORKLOADS = [
+    ("containment", None),
+    ("topk", None),
+    ("similarity", 0),
+    ("similarity", 1),
+    ("similarity", 2),
+]
+
+
+def _make_engine(name: str, database, config: EngineConfig):
+    if name == "imgrn":
+        return IMGRNEngine(database, config)
+    if name == "baseline":
+        return BaselineEngine(database, config)
+    if name == "linear_scan":
+        return LinearScanEngine(database, config)
+    return MeasureScanEngine(database, config=config)
+
+
+def _spec(query, kind: str, budget: int | None) -> QuerySpec:
+    if kind == "containment":
+        return QuerySpec(query, GAMMA, ALPHA)
+    if kind == "topk":
+        return QuerySpec(query, GAMMA, kind="topk", k=3)
+    return QuerySpec(
+        query, GAMMA, ALPHA, kind="similarity", edge_budget=budget
+    )
+
+
+def _answers(result) -> list[tuple[int, float]]:
+    return [(a.source_id, a.probability) for a in result.answers]
+
+
+def _query_counters(result) -> dict[str, float]:
+    """The ``query.*`` counters (not timings): the bit-identity surface."""
+    return {
+        key: value
+        for key, value in result.metrics.items()
+        if key.startswith("query.") and "seconds" not in key
+    }
+
+
+def _pair_probability_fn(engine):
+    inference = getattr(engine, "_inference", None)
+    if inference is not None:
+        return inference.pair_probability
+    return engine._pair_probability
+
+
+def _brute_force(engine, database, query_graph, kind, budget):
+    """Reference: materialize each source's GRN restricted to the query
+    genes with the engine's own estimator, then run ``find_embeddings``.
+
+    ``_exact_label_embeddings`` multiplies data-edge probabilities in the
+    same sorted query-edge order as the engines' refinement replay, so
+    the comparison is bit-exact, not approximate.
+    """
+    pair_probability = _pair_probability_fn(engine)
+    alpha = 0.0 if kind == "topk" else ALPHA
+    edge_budget = budget or 0
+    answers: list[tuple[int, float]] = []
+    for matrix in database:
+        if any(g not in matrix for g in query_graph.gene_ids):
+            continue
+        edges: dict[tuple[int, int], float] = {}
+        for (u, v), _qp in query_graph.edges():
+            p = pair_probability(matrix.column(u), matrix.column(v))
+            if p > GAMMA:
+                edges[edge_key(u, v)] = p
+        grn = ProbabilisticGraph(query_graph.gene_ids, edges)
+        found = find_embeddings(
+            query_graph, grn, alpha=alpha, edge_budget=edge_budget
+        )
+        if found:
+            answers.append((matrix.source_id, found[0].probability))
+    if kind == "topk":
+        answers.sort(key=lambda sp: (-sp[1], sp[0]))
+        del answers[3:]
+    return answers
+
+
+@pytest.fixture(scope="module")
+def strategy_engines(small_database):
+    """Per engine name: one built engine per refine strategy."""
+    built = {}
+    for name in ENGINE_NAMES:
+        pair = {}
+        for strategy in ("batched", "perpair"):
+            engine = _make_engine(
+                name,
+                small_database,
+                BASE_CONFIG.with_(refine=RefineConfig(strategy=strategy)),
+            )
+            engine.build()
+            pair[strategy] = engine
+        built[name] = pair
+    return built
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+@pytest.mark.parametrize(
+    "kind,budget", WORKLOADS, ids=lambda value: str(value)
+)
+class TestRefinementConformance:
+    def test_batched_bit_identical_to_perpair(
+        self, strategy_engines, query_workload, name, kind, budget
+    ):
+        """Same answers, same probabilities, same query.* counters."""
+        batched = strategy_engines[name]["batched"]
+        perpair = strategy_engines[name]["perpair"]
+        for query in query_workload[:2]:
+            got = batched.execute(_spec(query, kind, budget))
+            reference = perpair.execute(_spec(query, kind, budget))
+            assert _answers(got) == _answers(reference)
+            assert _query_counters(got) == _query_counters(reference)
+
+    def test_batched_bit_identical_to_brute_force(
+        self, strategy_engines, small_database, query_workload, name, kind, budget
+    ):
+        """Property: refinement == find_embeddings over materialized GRNs."""
+        engine = strategy_engines[name]["batched"]
+        for query in query_workload[:2]:
+            result = engine.execute(_spec(query, kind, budget))
+            expected = _brute_force(
+                engine, small_database, result.query_graph, kind, budget
+            )
+            assert _answers(result) == expected
+
+
+class TestStrategyKnobs:
+    @pytest.mark.parametrize(
+        "refine",
+        [
+            RefineConfig(strategy="batched", prescreen=False, chunk_size=0),
+            RefineConfig(strategy="batched", prescreen=True, chunk_size=0),
+            RefineConfig(strategy="batched", prescreen=False, chunk_size=1),
+            RefineConfig(strategy="batched", prescreen=True, chunk_size=1),
+            RefineConfig(strategy="batched", prescreen=True, chunk_size=2),
+        ],
+        ids=lambda c: f"prescreen={c.prescreen},chunk={c.chunk_size}",
+    )
+    def test_knobs_never_change_answers(
+        self, small_database, query_workload, strategy_engines, refine
+    ):
+        """Chunking/prescreen settings are pure strategy: answers and
+        query.* counters stay bit-identical to the per-pair reference."""
+        engine = IMGRNEngine(small_database, BASE_CONFIG.with_(refine=refine))
+        engine.build()
+        reference_engine = strategy_engines["imgrn"]["perpair"]
+        for query in query_workload[:2]:
+            for kind, budget in WORKLOADS:
+                got = engine.execute(_spec(query, kind, budget))
+                reference = reference_engine.execute(_spec(query, kind, budget))
+                assert _answers(got) == _answers(reference)
+                assert _query_counters(got) == _query_counters(reference)
+
+    def test_refine_metrics_recorded(self, strategy_engines, query_workload):
+        """refine.* diagnostics carry engine+strategy labels per query."""
+        engine = strategy_engines["imgrn"]["batched"]
+        result = engine.execute(QuerySpec(query_workload[0], GAMMA, ALPHA))
+        labels = 'engine="imgrn",strategy="batched"'
+        sources = result.metrics.get(f"refine.sources{{{labels}}}", 0.0)
+        assert sources >= len(result.answers)
+        if sources:
+            evaluated = result.metrics.get(
+                f"refine.edges_evaluated{{{labels}}}", 0.0
+            )
+            batches = result.metrics.get(f"refine.batches{{{labels}}}", 0.0)
+            prescreened = result.metrics.get(
+                f"refine.prescreened{{{labels}}}", 0.0
+            )
+            # Every refined candidate was either estimated or discarded
+            # by bounds alone.
+            assert evaluated + prescreened > 0.0
+            if evaluated:
+                assert batches >= 1.0
+
+
+class TestRefineConfigValidation:
+    def test_bad_strategy(self):
+        with pytest.raises(ValidationError, match="strategy"):
+            RefineConfig(strategy="bogus")
+
+    def test_negative_chunk_size(self):
+        with pytest.raises(ValidationError, match="chunk_size"):
+            RefineConfig(chunk_size=-1)
+
+    def test_with_copies(self):
+        config = RefineConfig().with_(strategy="perpair")
+        assert config.strategy == "perpair"
+        assert RefineConfig().strategy == "batched"
+
+
+class TestPayloadKeyValidation:
+    """The packed R*-tree payload key must refuse aliasing inputs."""
+
+    def test_packing_is_pinned(self):
+        assert _PAYLOAD_GENE_LIMIT == 1_000_000
+        assert IMGRNEngine._payload_key(2, 5) == 2 * _PAYLOAD_GENE_LIMIT + 5
+
+    def test_negative_source_rejected(self):
+        with pytest.raises(ValidationError, match="source_id"):
+            IMGRNEngine._payload_key(-1, 0)
+
+    def test_gene_index_at_limit_rejected(self):
+        """One past the last packable column would alias source+1's
+        column 0: (s, LIMIT) and (s+1, 0) pack to the same integer."""
+        assert IMGRNEngine._payload_key(
+            0, _PAYLOAD_GENE_LIMIT - 1
+        ) == _PAYLOAD_GENE_LIMIT - 1
+        with pytest.raises(ValidationError, match="genes per"):
+            IMGRNEngine._payload_key(0, _PAYLOAD_GENE_LIMIT)
+        with pytest.raises(ValidationError, match="gene index"):
+            IMGRNEngine._payload_key(0, -1)
